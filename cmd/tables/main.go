@@ -1,0 +1,91 @@
+// Command tables regenerates the paper's evaluation tables.
+//
+//	tables -table 4.1           # Table 4-1 from the §4.2 closed form
+//	tables -table 4.2           # Table 4-2 from the Dubois–Briggs reconstruction
+//	tables -table all -compare  # both, with the paper's printed values inline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twobit"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 4.1, 4.2 or all")
+	compare := flag.Bool("compare", false, "print computed values side by side with the paper's")
+	cost := flag.Bool("cost", false, "also print the directory hardware-economy comparison (§2.4.2/§3.1)")
+	viability := flag.Bool("viability", false, "also print the §4.3 viability boundaries")
+	flag.Parse()
+
+	if *cost {
+		printCost()
+		fmt.Println()
+	}
+	if *viability {
+		printViability()
+		fmt.Println()
+	}
+
+	switch *table {
+	case "4.1":
+		print41(*compare)
+	case "4.2":
+		print42(*compare)
+	case "all":
+		print41(*compare)
+		fmt.Println()
+		print42(*compare)
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown table %q (want 4.1, 4.2 or all)\n", *table)
+		os.Exit(2)
+	}
+}
+
+func printCost() {
+	fmt.Println("Directory storage per block (16-byte blocks), full map vs two-bit:")
+	fmt.Printf("%-6s %14s %12s %14s %12s %10s\n",
+		"n", "full-map bits", "overhead", "two-bit bits", "overhead", "savings")
+	for _, r := range twobit.CostTable(16) {
+		fmt.Printf("%-6d %14d %11.1f%% %14d %11.2f%% %9.1fx\n",
+			r.Procs, r.FullMapBits, r.FullMapOverhead*100,
+			r.TwoBitBits, r.TwoBitOverhead*100, r.SavingsFactor)
+	}
+	fmt.Println("(§2.4.2's example: 16 procs, 17 bits per 128-bit block = 13.3%,")
+	fmt.Println(`"almost 15% extra memory"; the paper's "256 bits" is a misprint.)`)
+}
+
+func printViability() {
+	fmt.Println("§4.3 viability boundaries: largest n with (n-1)·T_SUM < 1.0:")
+	for _, c := range []twobit.SharingCase{twobit.LowSharing, twobit.ModerateSharing, twobit.HighSharing} {
+		fmt.Printf("  %-10s", c.Name+":")
+		for _, w := range []float64{0.1, 0.2, 0.3, 0.4} {
+			fmt.Printf("  w=%.1f → n≤%-3d", w, twobit.MaxViableProcessors(c, w, 1.0))
+		}
+		fmt.Println()
+	}
+}
+
+func print41(compare bool) {
+	if compare {
+		fmt.Print(twobit.CompareTable41())
+		fmt.Println("\nKnown defects of the original: the case-1 w=0.3 n=16 cell is")
+		fmt.Println("misprinted 0.970 (formula gives 0.070), and case-1 w=0.1 n=4")
+		fmt.Println("rounds to 0.001 but is printed 0.000.")
+		return
+	}
+	fmt.Print(twobit.RenderTable41())
+}
+
+func print42(compare bool) {
+	if compare {
+		fmt.Print(twobit.CompareTable42())
+		fmt.Println("\nTable 4-2 is a reconstruction: the paper uses the Dubois–Briggs")
+		fmt.Println("model [3] whose closed form it does not reproduce; a Markov chain")
+		fmt.Println("over one shared block's global state substitutes (see DESIGN.md).")
+		return
+	}
+	fmt.Print(twobit.RenderTable42())
+}

@@ -1,0 +1,53 @@
+package twobit_test
+
+import (
+	"fmt"
+
+	"twobit"
+)
+
+// The analytic corner of Table 4-1: high sharing, 64 processors.
+func ExampleOverhead41() {
+	fmt.Printf("%.3f\n", twobit.Overhead41(twobit.HighSharing, 64, 0.1))
+	// Output: 34.839
+}
+
+// The §4.3 viability boundaries, straight from the closed form.
+func ExampleMaxViableProcessors() {
+	fmt.Println(twobit.MaxViableProcessors(twobit.LowSharing, 0.2, 1.0))
+	fmt.Println(twobit.MaxViableProcessors(twobit.ModerateSharing, 0.2, 1.0))
+	fmt.Println(twobit.MaxViableProcessors(twobit.HighSharing, 0.4, 1.0))
+	// Output:
+	// 64
+	// 16
+	// 8
+}
+
+// Directory storage economy: the full map's tag grows with n, the
+// two-bit tag does not.
+func ExampleCostTable() {
+	rows := twobit.CostTable(16)
+	last := rows[len(rows)-1]
+	fmt.Printf("n=%d: full map %d bits vs two-bit %d bits\n",
+		last.Procs, last.FullMapBits, last.TwoBitBits)
+	// Output: n=64: full map 65 bits vs two-bit 2 bits
+}
+
+// A complete simulation round trip.
+func ExampleNewMachine() {
+	cfg := twobit.DefaultConfig(twobit.TwoBit, 4)
+	gen := twobit.NewSharedPrivateWorkload(twobit.SharedPrivateConfig{
+		Procs: 4, SharedBlocks: 16, Q: 0.05, W: 0.2,
+		PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 32, ColdBlocks: 128, Seed: 1,
+	})
+	m, err := twobit.NewMachine(cfg, gen)
+	if err != nil {
+		panic(err)
+	}
+	res, err := m.Run(1000)
+	if err != nil {
+		panic(err) // any coherence violation would surface here
+	}
+	fmt.Println(res.Refs, res.Protocol)
+	// Output: 4000 two-bit
+}

@@ -1,0 +1,67 @@
+// Comparison: run every coherence scheme the paper surveys (§2) plus its
+// own two-bit proposal (§3) on one workload and reproduce the qualitative
+// ranking its survey argues for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twobit"
+)
+
+func main() {
+	const (
+		procs = 8
+		refs  = 20000
+	)
+	type entry struct {
+		name string
+		p    twobit.Protocol
+		note string
+	}
+	entries := []entry{
+		{"software (§2.2)", twobit.Software, "shared blocks uncached: no coherence traffic, every shared ref pays memory"},
+		{"classical (§2.3)", twobit.Classical, "write-through + broadcast inv: traffic grows with every write"},
+		{"duplication (§2.4.1)", twobit.Duplication, "exact but centralized: the controller is the bottleneck"},
+		{"full-map (§2.4.2)", twobit.FullMap, "exact and distributed: minimal commands, n+1 bits per block"},
+		{"full-map+E (§2.4.3)", twobit.FullMapExclusive, "adds the Yen–Fu local state: fewer MREQUESTs"},
+		{"write-once (§2.5)", twobit.WriteOnce, "bus snooping: every cache sees every transaction"},
+		{"two-bit (§3)", twobit.TwoBit, "2 bits per block; broadcasts only on actual sharing"},
+	}
+
+	fmt.Printf("%d processors, q=0.05 shared references, w=0.2 shared writes, %d refs/proc\n\n", procs, refs)
+	fmt.Printf("%-22s %10s %10s %12s %12s\n", "scheme", "cycles/ref", "cmds/ref", "useless/ref", "net msgs")
+	for _, e := range entries {
+		cfg := twobit.DefaultConfig(e.p, procs)
+		switch e.p {
+		case twobit.Duplication:
+			cfg.Modules = 1
+		case twobit.WriteOnce:
+			cfg.Net = twobit.BusNet
+		}
+		gen := twobit.NewSharedPrivateWorkload(twobit.SharedPrivateConfig{
+			Procs: procs, SharedBlocks: 16, Q: 0.05, W: 0.2,
+			PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 64, ColdBlocks: 512, Seed: 7,
+		})
+		m, err := twobit.NewMachine(cfg, gen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run(refs)
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Printf("%-22s %10.2f %10.4f %12.4f %12d\n",
+			e.name, res.CyclesPerRef, res.CommandsPerCachePerRef,
+			res.UselessPerCachePerRef, res.Net.Messages.Value())
+	}
+	fmt.Println()
+	for _, e := range entries {
+		fmt.Printf("%-22s %s\n", e.name+":", e.note)
+	}
+	fmt.Println()
+	fmt.Println("The two-bit scheme tracks the full map's command counts closely at")
+	fmt.Println("this sharing level while storing 2 bits per block instead of n+1 —")
+	fmt.Println("the paper's \"economical\" trade.")
+}

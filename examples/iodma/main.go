@@ -1,0 +1,58 @@
+// Iodma: the concern §2.2 raises — "I/O handling in the case of a
+// write-back policy raises also some difficulties" — made concrete.
+// DMA devices stream uncached reads and writes through the two-bit
+// memory controllers while processors cache and modify the same blocks.
+// The directory drains modified owners before device reads and
+// invalidates every copy before device writes, so I/O stays coherent
+// with zero changes to the caches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twobit"
+)
+
+func run(devices int) twobit.Results {
+	const procs = 8
+	cfg := twobit.DefaultConfig(twobit.TwoBit, procs)
+	cfg.DMA = twobit.DMAConfig{Devices: devices, Blocks: 16, WriteFrac: 0.5}
+	gen := twobit.NewSharedPrivateWorkload(twobit.SharedPrivateConfig{
+		Procs: procs, SharedBlocks: 16, Q: 0.1, W: 0.3,
+		PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 64, ColdBlocks: 512, Seed: 13,
+	})
+	m, err := twobit.NewMachine(cfg, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(15000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Coherent I/O through the two-bit directory (§2.2's difficulty):")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %12s %12s %14s %12s\n",
+		"devices", "DMA reads", "DMA writes", "broadcasts", "useless/ref", "ctrl util")
+	for _, devices := range []int{0, 1, 2, 4} {
+		res := run(devices)
+		var dmaReads, dmaWrites uint64
+		for _, c := range res.Ctrl {
+			dmaReads += c.DMAReads.Value()
+			dmaWrites += c.DMAWrites.Value()
+		}
+		fmt.Printf("%-10d %12d %12d %12d %14.4f %12.3f\n",
+			devices, dmaReads, dmaWrites, res.Broadcasts,
+			res.UselessPerCachePerRef, res.CtrlUtilization)
+	}
+	fmt.Println()
+	fmt.Println("Every device read observed the most recently committed value and no")
+	fmt.Println("device write was overwritten by a stale write-back — verified by the")
+	fmt.Println("coherence oracle on every operation. Device traffic adds broadcasts")
+	fmt.Println("(each DMA write must invalidate unknown holders), which is exactly")
+	fmt.Println("the two-bit economy trade-off extended to I/O.")
+}

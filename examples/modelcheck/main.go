@@ -1,0 +1,82 @@
+// Modelcheck: the paper's conclusion — "The protocols and associated
+// hardware design need to be refined (and proven correct)" — answered in
+// bounded form. For small scenarios, every possible order in which the
+// interconnection network could deliver messages is explored (respecting
+// only per-pair FIFO), and every interleaving is checked for deadlock,
+// coherence violations, and directory-invariant violations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twobit"
+)
+
+func check(name string, sc twobit.MCScenario) {
+	res, err := twobit.ModelCheck(sc)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	status := "exhaustive"
+	if res.Truncated {
+		status = "truncated"
+	}
+	fmt.Printf("  %-28s %8d interleavings, max depth %2d  (%s)\n",
+		name, res.Paths, res.MaxDepth, status)
+}
+
+func cfg(p twobit.Protocol, procs int) twobit.Config {
+	c := twobit.DefaultConfig(p, procs)
+	c.Modules = 1
+	c.CacheSets = 4
+	c.CacheAssoc = 1
+	return c
+}
+
+func main() {
+	fmt.Println("Bounded verification of the two-bit protocol (and the full map):")
+	fmt.Println()
+
+	sharedRW := func(write bool) twobit.Ref {
+		return twobit.Ref{Block: 0, Write: write, Shared: true}
+	}
+
+	fmt.Println("the §3.2.5 racing-MREQUEST scenario, all delivery orders:")
+	for _, p := range []twobit.Protocol{twobit.TwoBit, twobit.FullMap} {
+		check(p.String(), twobit.MCScenario{
+			Config: cfg(p, 2),
+			Blocks: 16,
+			Scripts: [][]twobit.Ref{
+				{sharedRW(false), sharedRW(true)},
+				{sharedRW(false), sharedRW(true)},
+			},
+		})
+	}
+
+	fmt.Println()
+	fmt.Println("a dirty eviction racing a remote read (EJECT vs BROADQUERY):")
+	check("two-bit", twobit.MCScenario{
+		Config: cfg(twobit.TwoBit, 2),
+		Blocks: 16,
+		Scripts: [][]twobit.Ref{
+			{sharedRW(true), {Block: 4}, {Block: 8}},
+			{sharedRW(false)},
+		},
+	})
+
+	fmt.Println()
+	fmt.Println("three simultaneous write misses to one block:")
+	check("two-bit", twobit.MCScenario{
+		Config: cfg(twobit.TwoBit, 3),
+		Blocks: 16,
+		Scripts: [][]twobit.Ref{
+			{sharedRW(true)}, {sharedRW(true)}, {sharedRW(true)},
+		},
+	})
+
+	fmt.Println()
+	fmt.Println("Every interleaving completed, stayed coherent, and left the")
+	fmt.Println("directory consistent with the caches. The residual races the")
+	fmt.Println("paper's §3.2.5 worries about are closed (see DESIGN.md §4).")
+}

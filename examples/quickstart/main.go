@@ -1,0 +1,53 @@
+// Quickstart: build a 16-processor machine running the two-bit scheme,
+// drive it with the paper's shared/private reference model, and compare
+// the measured broadcast overhead with the §4.2 analytic prediction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twobit"
+)
+
+func main() {
+	const (
+		procs = 16
+		w     = 0.2
+	)
+	// Moderate sharing, as in Table 4-1 case 2: q=0.05.
+	gen := twobit.NewSharedPrivateWorkload(twobit.SharedPrivateConfig{
+		Procs:        procs,
+		SharedBlocks: 16,
+		Q:            0.05,
+		W:            w,
+		PrivateHit:   0.9,
+		PrivateWrite: 0.3,
+		HotBlocks:    64,
+		ColdBlocks:   512,
+		Seed:         1,
+	})
+
+	cfg := twobit.DefaultConfig(twobit.TwoBit, procs)
+	m, err := twobit.NewMachine(cfg, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(20000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("two-bit directory scheme, 16 processors, moderate sharing")
+	fmt.Println()
+	fmt.Println(res)
+	fmt.Println()
+	fmt.Printf("measured commands received per cache per reference: %.4f\n", res.CommandsPerCachePerRef)
+	fmt.Printf("  of which useless (pure broadcast overhead):       %.4f\n", res.UselessPerCachePerRef)
+	fmt.Printf("analytic (n-1)·T_SUM, case 2, w=%.1f, n=%d:          %.4f\n",
+		w, procs, twobit.Overhead41(twobit.ModerateSharing, procs, w))
+	fmt.Println()
+	fmt.Println("The paper's verdict for this regime: \"for a more moderate level of")
+	fmt.Println("sharing, performance is acceptable up to 16 processors\" — the")
+	fmt.Println("overhead stays well under one command per reference.")
+}

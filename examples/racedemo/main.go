@@ -1,0 +1,77 @@
+// Racedemo: reproduce the §3.2.5 synchronization example message by
+// message. Two processors hold clean copies of the same block and issue
+// STOREs "at the same time"; the trace shows one MREQUEST being granted
+// while the other cache treats the BROADINV as MGRANTED(·,false) and
+// reissues its store as a write REQUEST.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"twobit"
+)
+
+// raceGen drives exactly the paper's scenario: both processors read block
+// 0, then both write it, then idle on private blocks.
+type raceGen struct{ step []int }
+
+func (g *raceGen) Blocks() int { return 64 }
+
+func (g *raceGen) Next(proc int) twobit.Ref {
+	i := g.step[proc]
+	g.step[proc]++
+	switch i {
+	case 0:
+		return twobit.Ref{Block: 0, Shared: true} // read: load a copy
+	case 1:
+		return twobit.Ref{Block: 0, Write: true, Shared: true} // the racing STORE
+	default:
+		return twobit.Ref{Block: twobit.Block(8 + proc*8 + i%4)} // private tail
+	}
+}
+
+func main() {
+	var trace strings.Builder
+	cfg := twobit.DefaultConfig(twobit.TwoBit, 2)
+	cfg.Modules = 1
+	cfg.TraceWriter = &trace
+	g := &raceGen{step: make([]int, 2)}
+	m, err := twobit.NewMachine(cfg, g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run(6); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("§3.2.5 racing MREQUESTs, full message trace (block 0 is the lock):")
+	fmt.Println()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, line := range strings.Split(strings.TrimRight(trace.String(), "\n"), "\n") {
+		fmt.Fprintln(w, " ", line)
+		switch {
+		case strings.Contains(line, "MREQUEST(") && strings.Contains(line, "blk#0"):
+			annotate(w, "a write hit on an unmodified copy asks for ownership")
+		case strings.Contains(line, "BROADINV(blk#0"):
+			annotate(w, "the winner's invalidation; the loser treats this as MGRANTED(·,false)")
+		case strings.Contains(line, "MGRANTED") && strings.Contains(line, "true"):
+			annotate(w, "ownership granted; the state becomes PresentM on the MACK")
+		case strings.Contains(line, "REQUEST(") && strings.Contains(line, "blk#0,write"):
+			annotate(w, "the loser's STORE reissued as a write miss (\"processor j's next action\")")
+		case strings.Contains(line, "BROADQUERY(blk#0"):
+			annotate(w, "the loser's write miss finds PresentM: query the unknown owner")
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Both stores completed, exactly one modified copy survives, and the")
+	fmt.Fprintln(w, "coherence oracle verified every load along the way.")
+}
+
+func annotate(w *bufio.Writer, s string) {
+	fmt.Fprintf(w, "      ^ %s\n", s)
+}

@@ -1,0 +1,3 @@
+module twobit
+
+go 1.22

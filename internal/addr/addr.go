@@ -1,0 +1,82 @@
+// Package addr defines the address model shared by every component of the
+// simulated multiprocessor.
+//
+// The protocols in the paper operate on memory *blocks* (the unit of
+// caching, transfer and directory bookkeeping), so the simulator's primary
+// address type is a block number. Byte addresses appear only at the edge
+// (processor references carry a displacement d within the block, per the
+// paper's LOAD(a,d)/STORE(a,d)).
+package addr
+
+import "fmt"
+
+// Block is a main-memory block number. Blocks are the granularity of the
+// caches, the interconnection-network transfers, and the global directory.
+type Block uint64
+
+// String implements fmt.Stringer, e.g. "blk#42".
+func (b Block) String() string { return fmt.Sprintf("blk#%d", uint64(b)) }
+
+// Module returns the index of the memory module (and hence the memory
+// controller K_i) that owns b when blocks are interleaved across modules
+// modules, matching the paper's distributed-controller organization in
+// Figure 3-1. modules must be positive.
+func (b Block) Module(modules int) int {
+	if modules <= 0 {
+		panic("addr: Module with non-positive module count")
+	}
+	return int(uint64(b) % uint64(modules))
+}
+
+// Ref is a single processor memory reference: the paper's LOAD(a,d) or
+// STORE(a,d).
+type Ref struct {
+	Block  Block // a: the block address
+	Disp   int   // d: displacement of the referenced unit within the block
+	Write  bool  // true for STORE, false for LOAD
+	Shared bool  // workload annotation: reference belongs to the shared stream
+}
+
+// String renders the reference in the paper's notation.
+func (r Ref) String() string {
+	op := "LOAD"
+	if r.Write {
+		op = "STORE"
+	}
+	return fmt.Sprintf("%s(%s,%d)", op, r.Block, r.Disp)
+}
+
+// Space describes the simulated physical address space layout.
+type Space struct {
+	Blocks  int // number of memory blocks in the machine
+	Modules int // number of memory modules (each with its controller)
+}
+
+// Validate reports an error if the layout is unusable.
+func (s Space) Validate() error {
+	if s.Blocks <= 0 {
+		return fmt.Errorf("addr: space must have at least one block, got %d", s.Blocks)
+	}
+	if s.Modules <= 0 {
+		return fmt.Errorf("addr: space must have at least one module, got %d", s.Modules)
+	}
+	return nil
+}
+
+// BlocksInModule returns how many blocks module m owns under interleaving.
+func (s Space) BlocksInModule(m int) int {
+	if m < 0 || m >= s.Modules {
+		panic(fmt.Sprintf("addr: module %d out of range [0,%d)", m, s.Modules))
+	}
+	n := s.Blocks / s.Modules
+	if m < s.Blocks%s.Modules {
+		n++
+	}
+	return n
+}
+
+// LocalIndex maps block b to a dense [0, BlocksInModule) index within its
+// module, so per-module directories can be stored in flat slices.
+func (s Space) LocalIndex(b Block) int {
+	return int(uint64(b) / uint64(s.Modules))
+}

@@ -1,0 +1,89 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModuleInterleaving(t *testing.T) {
+	for _, tc := range []struct {
+		b       Block
+		modules int
+		want    int
+	}{
+		{0, 4, 0}, {1, 4, 1}, {3, 4, 3}, {4, 4, 0}, {7, 4, 3}, {8, 4, 0},
+		{5, 1, 0}, {9, 3, 0}, {10, 3, 1},
+	} {
+		if got := tc.b.Module(tc.modules); got != tc.want {
+			t.Errorf("Block(%d).Module(%d) = %d, want %d", tc.b, tc.modules, got, tc.want)
+		}
+	}
+}
+
+func TestModulePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Module(0) did not panic")
+		}
+	}()
+	Block(1).Module(0)
+}
+
+func TestSpaceValidate(t *testing.T) {
+	if err := (Space{Blocks: 16, Modules: 4}).Validate(); err != nil {
+		t.Fatalf("valid space rejected: %v", err)
+	}
+	if err := (Space{Blocks: 0, Modules: 4}).Validate(); err == nil {
+		t.Fatal("zero-block space accepted")
+	}
+	if err := (Space{Blocks: 16, Modules: 0}).Validate(); err == nil {
+		t.Fatal("zero-module space accepted")
+	}
+}
+
+func TestBlocksInModuleSumsToTotal(t *testing.T) {
+	if err := quick.Check(func(blocksRaw, modulesRaw uint8) bool {
+		blocks := int(blocksRaw)%200 + 1
+		modules := int(modulesRaw)%10 + 1
+		s := Space{Blocks: blocks, Modules: modules}
+		sum := 0
+		for m := 0; m < modules; m++ {
+			sum += s.BlocksInModule(m)
+		}
+		return sum == blocks
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalIndexDenseWithinModule(t *testing.T) {
+	s := Space{Blocks: 32, Modules: 4}
+	// Per module, local indices must be 0..BlocksInModule-1 with no gaps.
+	seen := make([]map[int]bool, s.Modules)
+	for m := range seen {
+		seen[m] = make(map[int]bool)
+	}
+	for b := 0; b < s.Blocks; b++ {
+		blk := Block(b)
+		m := blk.Module(s.Modules)
+		li := s.LocalIndex(blk)
+		if li < 0 || li >= s.BlocksInModule(m) {
+			t.Fatalf("block %d: local index %d out of range", b, li)
+		}
+		if seen[m][li] {
+			t.Fatalf("block %d: local index %d in module %d already used", b, li, m)
+		}
+		seen[m][li] = true
+	}
+}
+
+func TestRefString(t *testing.T) {
+	r := Ref{Block: 3, Disp: 2, Write: true}
+	if got, want := r.String(), "STORE(blk#3,2)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	r.Write = false
+	if got, want := r.String(), "LOAD(blk#3,2)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,301 @@
+// Package cache implements the private per-processor cache of Figure 3-1:
+// a set-associative, write-back cache whose frames carry the valid and
+// modified bits the paper's protocols manipulate.
+//
+// The package is purely the storage structure and its local bookkeeping;
+// the coherence behavior (what to send on a miss, how to answer a
+// BROADQUERY, ...) lives in the protocol packages, which drive a Cache
+// through its exported operations. Data is modeled as a version number per
+// block (see the linearizability oracle in internal/system).
+package cache
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/rng"
+	"twobit/internal/stats"
+)
+
+// ReplacementPolicy selects the victim frame within a set.
+type ReplacementPolicy uint8
+
+const (
+	// LRU evicts the least recently used frame.
+	LRU ReplacementPolicy = iota
+	// FIFO evicts the frame filled longest ago.
+	FIFO
+	// Random evicts a uniformly random frame.
+	Random
+)
+
+// String names the policy.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	}
+	return fmt.Sprintf("ReplacementPolicy(%d)", uint8(p))
+}
+
+// Frame is one cache block frame: the local state of Table 3-1's b_k.
+type Frame struct {
+	Block    addr.Block // tag: which memory block occupies the frame
+	Valid    bool       // valid bit
+	Modified bool       // modified (dirty) bit
+	// Exclusive is the extra local state of the Yen–Fu variant (§2.4.3)
+	// and Goodman's "Reserved" (§2.5): this cache holds the only copy and
+	// it is clean, so a write may proceed without a global transaction.
+	Exclusive bool
+	Data      uint64 // data version currently held
+
+	lastUse  uint64 // for LRU
+	filledAt uint64 // for FIFO
+}
+
+// Config sizes a cache.
+type Config struct {
+	Sets   int               // number of sets; must be ≥ 1
+	Assoc  int               // ways per set; must be ≥ 1
+	Policy ReplacementPolicy // victim selection policy
+	// DuplicateDirectory enables the §4.4 parallel-controller enhancement:
+	// a duplicate copy of the cache directory answers broadcast lookups
+	// without stealing a cycle from the processor unless the block is
+	// actually present.
+	DuplicateDirectory bool
+	// Seed seeds the Random replacement policy.
+	Seed uint64
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Sets < 1 {
+		return fmt.Errorf("cache: Sets must be ≥ 1, got %d", c.Sets)
+	}
+	if c.Assoc < 1 {
+		return fmt.Errorf("cache: Assoc must be ≥ 1, got %d", c.Assoc)
+	}
+	return nil
+}
+
+// Blocks returns the capacity in blocks.
+func (c Config) Blocks() int { return c.Sets * c.Assoc }
+
+// Stats counts local cache events. Snoop-related counters implement the
+// paper's "stolen cycles" accounting: a broadcast command received by a
+// cache costs it one directory cycle unless a duplicate directory filters
+// it (in which case only actual hits cost a cache cycle).
+type Stats struct {
+	Hits         stats.Counter // processor references satisfied locally
+	Misses       stats.Counter // processor references requiring a transaction
+	Evictions    stats.Counter // valid frames replaced
+	WritebackEv  stats.Counter // evictions of modified frames
+	SnoopLookups stats.Counter // broadcast commands that consulted the directory
+	SnoopHits    stats.Counter // broadcast commands that found the block present
+	StolenCycles stats.Counter // cache cycles lost to servicing external commands
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use; in
+// the event-driven simulator each cache is owned by one component, and the
+// goroutine runtime wraps accesses in its own synchronization.
+type Cache struct {
+	cfg    Config
+	sets   [][]Frame
+	clock  uint64 // logical use counter for LRU/FIFO
+	random *rng.PCG
+	stats  Stats
+	// index accelerates FindBlock: block -> set slot. Maintained on every
+	// fill/invalidate so lookups during broadcasts are O(1).
+	index map[addr.Block]int
+}
+
+// New constructs a cache. It panics on an invalid Config (construction is
+// programmer-controlled, not input-controlled).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := make([][]Frame, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]Frame, cfg.Assoc)
+	}
+	return &Cache{
+		cfg:    cfg,
+		sets:   sets,
+		random: rng.New(cfg.Seed, 0x5eed),
+		index:  make(map[addr.Block]int, cfg.Blocks()),
+	}
+}
+
+// Config returns the construction configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a pointer to the cache's counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// setFor maps a block to its set index.
+func (c *Cache) setFor(b addr.Block) int { return int(uint64(b) % uint64(c.cfg.Sets)) }
+
+// Lookup returns the frame holding block b, or nil. It counts neither hit
+// nor miss; use Access for processor references.
+func (c *Cache) Lookup(b addr.Block) *Frame {
+	slot, ok := c.index[b]
+	if !ok {
+		return nil
+	}
+	set := c.setFor(b)
+	f := &c.sets[set][slot]
+	if !f.Valid || f.Block != b {
+		return nil
+	}
+	return f
+}
+
+// Access performs the local part of a processor reference: on a hit it
+// updates recency and returns the frame; on a miss it returns nil. The
+// hit/miss counters are updated. Access never changes valid/modified bits —
+// that is protocol business.
+func (c *Cache) Access(b addr.Block) *Frame {
+	f := c.Lookup(b)
+	if f == nil {
+		c.stats.Misses.Inc()
+		return nil
+	}
+	c.stats.Hits.Inc()
+	c.clock++
+	f.lastUse = c.clock
+	return f
+}
+
+// Victim returns the frame that a fill of block b would replace, without
+// modifying anything. If an invalid frame exists in the set it is chosen
+// first (no replacement needed). The returned frame may be inspected for
+// the EJECT decision before calling Fill.
+func (c *Cache) Victim(b addr.Block) *Frame {
+	set := c.sets[c.setFor(b)]
+	for i := range set {
+		if !set[i].Valid {
+			return &set[i]
+		}
+	}
+	switch c.cfg.Policy {
+	case FIFO:
+		best := 0
+		for i := range set {
+			if set[i].filledAt < set[best].filledAt {
+				best = i
+			}
+		}
+		return &set[best]
+	case Random:
+		return &set[c.random.Intn(len(set))]
+	default: // LRU
+		best := 0
+		for i := range set {
+			if set[i].lastUse < set[best].lastUse {
+				best = i
+			}
+		}
+		return &set[best]
+	}
+}
+
+// Fill installs block b with data version data into the given victim frame
+// (which must belong to b's set — Victim guarantees this). The previous
+// occupant, if valid, is evicted and counted. The new frame is valid,
+// unmodified and non-exclusive; callers set Modified/Exclusive afterwards
+// as their protocol dictates.
+func (c *Cache) Fill(victim *Frame, b addr.Block, data uint64) {
+	if slot, ok := c.index[b]; ok && &c.sets[c.setFor(b)][slot] != victim {
+		panic(fmt.Sprintf("cache: Fill(%v) would duplicate a resident block", b))
+	}
+	if victim.Valid {
+		c.stats.Evictions.Inc()
+		if victim.Modified {
+			c.stats.WritebackEv.Inc()
+		}
+		delete(c.index, victim.Block)
+	}
+	c.clock++
+	*victim = Frame{
+		Block:    b,
+		Valid:    true,
+		Data:     data,
+		lastUse:  c.clock,
+		filledAt: c.clock,
+	}
+	set := c.setFor(b)
+	for i := range c.sets[set] {
+		if &c.sets[set][i] == victim {
+			c.index[b] = i
+			break
+		}
+	}
+}
+
+// Evict clears a specific frame (obtained from Victim), updating the index
+// if it points at this frame. Unlike Invalidate it cannot be misdirected by
+// the index, so replacement code must use it for the victim.
+func (c *Cache) Evict(f *Frame) {
+	if !f.Valid {
+		return
+	}
+	set := c.setFor(f.Block)
+	if slot, ok := c.index[f.Block]; ok && &c.sets[set][slot] == f {
+		delete(c.index, f.Block)
+	}
+	f.Valid = false
+	f.Modified = false
+	f.Exclusive = false
+}
+
+// Invalidate clears block b if present and reports whether it was present.
+// The modified bit is discarded (the protocols write back *before*
+// invalidating where required).
+func (c *Cache) Invalidate(b addr.Block) bool {
+	f := c.Lookup(b)
+	if f == nil {
+		return false
+	}
+	f.Valid = false
+	f.Modified = false
+	f.Exclusive = false
+	delete(c.index, b)
+	return true
+}
+
+// Snoop consults the directory on behalf of an external (broadcast or
+// directed) command and returns the frame if the block is present. It
+// applies the §4.4 duplicate-directory accounting: without the duplicate
+// directory every snoop steals a cache cycle; with it only snoop hits do.
+func (c *Cache) Snoop(b addr.Block) *Frame {
+	c.stats.SnoopLookups.Inc()
+	f := c.Lookup(b)
+	if f != nil {
+		c.stats.SnoopHits.Inc()
+		c.stats.StolenCycles.Inc()
+	} else if !c.cfg.DuplicateDirectory {
+		c.stats.StolenCycles.Inc()
+	}
+	return f
+}
+
+// Contents returns a snapshot of all valid frames, for invariant checks.
+func (c *Cache) Contents() []Frame {
+	var out []Frame
+	for _, set := range c.sets {
+		for _, f := range set {
+			if f.Valid {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of valid frames.
+func (c *Cache) Count() int { return len(c.index) }

@@ -1,0 +1,578 @@
+// Package core implements the paper's contribution: the two-bit directory
+// scheme of §3. Each memory controller K_j keeps two bits of global state
+// per block of its module (Absent, Present1, Present*, PresentM) and runs
+// the protocols of §3.2 — replacement, read miss, write miss, and write hit
+// on a previously unmodified block — broadcasting BROADINV/BROADQUERY when
+// a command must reach caches whose identity the map does not record.
+//
+// The controller resolves the synchronization races of §3.2.5 (and two
+// further races the paper leaves implicit; see DESIGN.md):
+//
+//   - Racing MREQUESTs: commands for one block are serviced one at a time;
+//     after a BROADINV, MREQUESTs still queued for that block from other
+//     caches are deleted (the caches convert on the BROADINV themselves).
+//   - A stale MREQUEST arriving while the block is PresentM or Absent is
+//     denied immediately with MGRANTED(k,false) — its sender's copy is
+//     already doomed by an in-flight BROADINV.
+//   - An EJECT(k,a,"write") racing a BROADQUERY for a: the controller
+//     accepts the eviction's put as the query answer and deletes the
+//     queued EJECT, whose write-back it has just performed.
+//
+// The optional translation buffer implements the §4.4 enhancement: a small
+// LRU memory of exact owner sets that converts broadcasts into directed
+// sends on a hit. Entries are only created when the owner set is exactly
+// known (a superset invariant would otherwise break invalidation).
+package core
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/directory"
+	"twobit/internal/memory"
+	"twobit/internal/msg"
+	"twobit/internal/network"
+	"twobit/internal/proto"
+	"twobit/internal/sim"
+)
+
+// Config configures one two-bit memory controller.
+type Config struct {
+	Module int // which memory module this controller serves
+	Topo   proto.Topology
+	Space  addr.Space
+	Lat    proto.Latencies
+	Mode   proto.ConcurrencyMode
+	// TranslationBufferSize enables the §4.4 owner cache when > 0.
+	TranslationBufferSize int
+	// Commit is the oracle hook for writes that linearize at the
+	// controller (uncached I/O); may be nil.
+	Commit proto.CommitFunc
+}
+
+// Controller is the two-bit memory controller K_j of Figure 3-1.
+type Controller struct {
+	cfg    Config
+	kernel *sim.Kernel
+	net    network.Network
+	mem    *memory.Module
+	dir    *directory.TwoBitMap
+	ser    *proto.Serializer
+	tb     *directory.TranslationBuffer
+	stats  proto.CtrlStats
+
+	// waiting holds, per block, the active transaction's data continuation
+	// (a BROADQUERY answer or an EJECT write-back in flight).
+	waiting map[addr.Block]func(cache int, data uint64)
+	// stashed buffers puts that arrived before their transaction started.
+	stashed map[addr.Block][]stashedPut
+	// awaitingAck holds, per block, the continuation of an MREQUEST grant
+	// awaiting the cache's MACK.
+	awaitingAck map[addr.Block]func(ok bool)
+	// activeSince times each open transaction for occupancy accounting.
+	activeSince map[addr.Block]sim.Time
+}
+
+type stashedPut struct {
+	cache int
+	data  uint64
+}
+
+// New constructs the controller, wires it to the network, and returns it.
+func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module) *Controller {
+	if err := cfg.Topo.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.Space.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Controller{
+		cfg:         cfg,
+		kernel:      kernel,
+		net:         net,
+		mem:         mem,
+		dir:         directory.NewTwoBitMap(cfg.Space.BlocksInModule(cfg.Module)),
+		waiting:     make(map[addr.Block]func(int, uint64)),
+		stashed:     make(map[addr.Block][]stashedPut),
+		awaitingAck: make(map[addr.Block]func(bool)),
+		activeSince: make(map[addr.Block]sim.Time),
+	}
+	if cfg.TranslationBufferSize > 0 {
+		c.tb = directory.NewTranslationBuffer(cfg.TranslationBufferSize)
+	}
+	c.ser = proto.NewSerializer(cfg.Mode, c.begin)
+	net.Attach(c.node(), c)
+	return c
+}
+
+// CtrlStats implements proto.MemSide.
+func (c *Controller) CtrlStats() *proto.CtrlStats { return &c.stats }
+
+// TranslationBuffer returns the §4.4 owner cache, or nil when disabled.
+func (c *Controller) TranslationBuffer() *directory.TranslationBuffer { return c.tb }
+
+// State returns the global state of block b, for invariant checks.
+func (c *Controller) State(b addr.Block) directory.State { return c.dir.Get(c.local(b)) }
+
+// MemVersion returns main memory's stored version of b, for invariants.
+func (c *Controller) MemVersion(b addr.Block) uint64 { return c.mem.Read(b) }
+
+// Quiescent reports whether no transaction is active or queued.
+func (c *Controller) Quiescent() bool {
+	return c.ser.ActiveCount() == 0 && c.ser.QueuedLen() == 0 &&
+		len(c.waiting) == 0 && len(c.awaitingAck) == 0
+}
+
+func (c *Controller) node() network.NodeID { return c.cfg.Topo.CtrlNode(c.cfg.Module) }
+
+func (c *Controller) local(b addr.Block) int { return c.cfg.Space.LocalIndex(b) }
+
+func (c *Controller) setState(b addr.Block, s directory.State) {
+	c.dir.Set(c.local(b), s)
+}
+
+func (c *Controller) send(dst network.NodeID, m msg.Message) { c.net.Send(c.node(), dst, m) }
+
+// Deliver implements network.Handler.
+func (c *Controller) Deliver(src network.NodeID, m msg.Message) {
+	switch m.Kind {
+	case msg.KindRequest, msg.KindEject, msg.KindUncachedRead, msg.KindUncachedWrite:
+		c.submit(src, m)
+	case msg.KindMRequest:
+		// Deny-on-arrival: if the block is PresentM or Absent, the sender's
+		// clean copy is doomed by an in-flight BROADINV (or already gone);
+		// granting later could install a phantom owner. See package doc.
+		switch c.State(m.Block) {
+		case directory.PresentM, directory.Absent:
+			c.stats.MGrantDenied.Inc()
+			c.send(c.cfg.Topo.CacheNode(m.Cache), msg.Message{
+				Kind: msg.KindMGranted, Block: m.Block, Cache: m.Cache, Ok: false,
+			})
+			return
+		}
+		c.submit(src, m)
+	case msg.KindPut:
+		c.handlePut(m)
+	case msg.KindMAck:
+		onAck := c.awaitingAck[m.Block]
+		if onAck == nil {
+			panic(fmt.Sprintf("core: controller %d: stray %v", c.cfg.Module, m))
+		}
+		delete(c.awaitingAck, m.Block)
+		onAck(m.Ok)
+	default:
+		panic(fmt.Sprintf("core: controller %d: unexpected %v", c.cfg.Module, m))
+	}
+}
+
+func (c *Controller) submit(src network.NodeID, m msg.Message) {
+	c.ser.Submit(proto.Pending{Src: src, M: m})
+	c.stats.NoteQueue(c.ser.QueuedLen())
+}
+
+// handlePut routes a data transfer to the transaction awaiting it, or
+// stashes it for a queued EJECT("write").
+func (c *Controller) handlePut(m msg.Message) {
+	if onData := c.waiting[m.Block]; onData != nil {
+		delete(c.waiting, m.Block)
+		// If this put belongs to an in-flight eviction whose EJECT is still
+		// queued, the active transaction subsumes its write-back: delete it.
+		c.ser.DeleteQueued(m.Block, func(p proto.Pending) bool {
+			return p.M.Kind == msg.KindEject && p.M.RW == msg.Write && p.M.Cache == m.Cache
+		})
+		onData(m.Cache, m.Data)
+		return
+	}
+	c.stashed[m.Block] = append(c.stashed[m.Block], stashedPut{cache: m.Cache, data: m.Data})
+}
+
+// begin starts servicing one command after the controller service time.
+func (c *Controller) begin(p proto.Pending) {
+	c.activeSince[p.M.Block] = c.kernel.Now()
+	c.kernel.After(c.cfg.Lat.CtrlService, func() { c.service(p) })
+}
+
+func (c *Controller) service(p proto.Pending) {
+	switch p.M.Kind {
+	case msg.KindRequest:
+		c.stats.Requests.Inc()
+		if p.M.RW == msg.Read {
+			c.readMiss(p)
+		} else {
+			c.writeMiss(p)
+		}
+	case msg.KindMRequest:
+		c.mrequest(p)
+	case msg.KindEject:
+		c.eject(p)
+	case msg.KindUncachedRead:
+		c.dmaRead(p)
+	case msg.KindUncachedWrite:
+		c.dmaWrite(p)
+	default:
+		panic(fmt.Sprintf("core: controller %d: cannot service %v", c.cfg.Module, p.M))
+	}
+}
+
+// dmaRead services an uncached I/O read: the device needs the most recent
+// value but caches nothing. A PresentM block is retrieved from its owner
+// (who keeps a clean copy, so the state becomes Present1); otherwise
+// memory is current.
+func (c *Controller) dmaRead(p proto.Pending) {
+	c.stats.DMAReads.Inc()
+	a := p.M.Block
+	reply := func(data uint64) {
+		c.send(p.Src, msg.Message{Kind: msg.KindGet, Block: a, Cache: p.M.Cache, Data: data})
+	}
+	if c.State(a) == directory.PresentM {
+		c.query(a, msg.Read, -1, func(owner int, data uint64) {
+			c.kernel.After(c.cfg.Lat.Memory, func() {
+				c.mem.Write(a, data)
+				reply(data)
+				c.setState(a, directory.Present1)
+				c.tbRecord(a, []int{owner})
+				c.done(a)
+			})
+		})
+		return
+	}
+	c.kernel.After(c.cfg.Lat.Memory, func() {
+		reply(c.mem.Read(a))
+		c.done(a)
+	})
+}
+
+// dmaWrite services an uncached I/O write of a whole block: every cached
+// copy must die first. A PresentM owner is drained through the BROADQUERY
+// machinery (its racing write-back, if any, is consumed and discarded —
+// the device's data overwrites it); clean copies are invalidated by
+// BROADINV. The write linearizes at the memory update.
+func (c *Controller) dmaWrite(p proto.Pending) {
+	c.stats.DMAWrites.Inc()
+	a := p.M.Block
+	version := p.M.Data
+	finish := func() {
+		c.kernel.After(c.cfg.Lat.Memory, func() {
+			c.mem.Write(a, version)
+			if c.cfg.Commit != nil {
+				c.cfg.Commit(a, version)
+			}
+			c.send(p.Src, msg.Message{Kind: msg.KindGet, Block: a, Cache: p.M.Cache, Data: version})
+			c.setState(a, directory.Absent)
+			c.tbRecord(a, nil)
+			c.done(a)
+		})
+	}
+	switch c.State(a) {
+	case directory.PresentM:
+		c.query(a, msg.Write, -1, func(int, uint64) { finish() })
+	case directory.Present1, directory.PresentStar:
+		c.invalidate(a, -1)
+		finish()
+	default:
+		finish()
+	}
+}
+
+// grantGet reads memory (or uses data already in hand) and sends get(k,a).
+func (c *Controller) sendGet(k int, a addr.Block, data uint64) {
+	c.send(c.cfg.Topo.CacheNode(k), msg.Message{Kind: msg.KindGet, Block: a, Cache: k, Data: data})
+}
+
+// readMiss implements §3.2.2.
+func (c *Controller) readMiss(p proto.Pending) {
+	c.stats.ReadMisses.Inc()
+	k, a := p.M.Cache, p.M.Block
+	st := c.State(a)
+	switch st {
+	case directory.Absent, directory.Present1, directory.PresentStar:
+		c.kernel.After(c.cfg.Lat.Memory, func() {
+			data := c.mem.Read(a)
+			c.sendGet(k, a, data)
+			if st == directory.Absent {
+				c.setState(a, directory.Present1)
+				c.tbRecord(a, []int{k})
+			} else {
+				c.setState(a, directory.PresentStar)
+				c.tbAddOwner(a, k)
+			}
+			c.done(a)
+		})
+	case directory.PresentM:
+		// Retrieve from the unknown owner, write back, then forward.
+		c.query(a, msg.Read, k, func(owner int, data uint64) {
+			c.kernel.After(c.cfg.Lat.Memory, func() {
+				c.mem.Write(a, data)
+				c.sendGet(k, a, data)
+				// Owner kept a clean copy; the requester has one too.
+				c.setState(a, directory.PresentStar)
+				c.tbRecord(a, []int{owner, k})
+				c.done(a)
+			})
+		})
+	}
+}
+
+// writeMiss implements §3.2.3.
+func (c *Controller) writeMiss(p proto.Pending) {
+	c.stats.WriteMisses.Inc()
+	k, a := p.M.Cache, p.M.Block
+	switch c.State(a) {
+	case directory.Absent:
+		c.kernel.After(c.cfg.Lat.Memory, func() {
+			data := c.mem.Read(a)
+			c.sendGet(k, a, data)
+			c.setState(a, directory.PresentM)
+			c.tbRecord(a, []int{k})
+			c.done(a)
+		})
+	case directory.Present1, directory.PresentStar:
+		c.invalidate(a, k)
+		c.kernel.After(c.cfg.Lat.Memory, func() {
+			data := c.mem.Read(a)
+			c.sendGet(k, a, data)
+			c.setState(a, directory.PresentM)
+			c.tbRecord(a, []int{k})
+			c.done(a)
+		})
+	case directory.PresentM:
+		c.query(a, msg.Write, k, func(owner int, data uint64) {
+			c.kernel.After(c.cfg.Lat.Memory, func() {
+				c.mem.Write(a, data)
+				c.sendGet(k, a, data)
+				c.setState(a, directory.PresentM)
+				c.tbRecord(a, []int{k})
+				c.done(a)
+			})
+		})
+	}
+}
+
+// mrequest implements §3.2.4.
+func (c *Controller) mrequest(p proto.Pending) {
+	c.stats.MRequests.Inc()
+	k, a := p.M.Cache, p.M.Block
+	// The grant takes effect only when the cache confirms it still held
+	// the copy. An MREQUEST whose sender was invalidated after the §3.2.5
+	// queue deletion ran would otherwise install a phantom owner: the
+	// state would read PresentM while no modified copy exists, and the
+	// next BROADQUERY would wait forever.
+	grant := func() {
+		c.send(c.cfg.Topo.CacheNode(k), msg.Message{
+			Kind: msg.KindMGranted, Block: a, Cache: k, Ok: true,
+		})
+		c.awaitingAck[a] = func(ok bool) {
+			if ok {
+				c.setState(a, directory.PresentM)
+				c.tbRecord(a, []int{k})
+			} else {
+				// The sender had converted: every other copy is gone (the
+				// Present* path just broadcast BROADINV) and so is the
+				// sender's. The block is Absent; the sender's write
+				// REQUEST, already queued behind us, will reload it.
+				c.stats.MGrantDenied.Inc()
+				c.setState(a, directory.Absent)
+				c.tbRecord(a, nil)
+			}
+			c.done(a)
+		}
+	}
+	switch c.State(a) {
+	case directory.Present1:
+		// Case 1: the sole copy is k's — this justifies keeping Present1.
+		grant()
+	case directory.PresentStar:
+		// Case 2: invalidate every other copy, then grant.
+		c.invalidate(a, k)
+		grant()
+	default:
+		// The block's state changed while the MREQUEST waited (the
+		// deny-on-arrival check covers most of this; a state change while
+		// queued lands here). The sender converts on the BROADINV it has
+		// received; deny for completeness.
+		c.stats.MGrantDenied.Inc()
+		c.send(c.cfg.Topo.CacheNode(k), msg.Message{
+			Kind: msg.KindMGranted, Block: a, Cache: k, Ok: false,
+		})
+		c.done(a)
+	}
+}
+
+// eject implements §3.2.1 (controller side).
+func (c *Controller) eject(p proto.Pending) {
+	c.stats.Ejects.Inc()
+	k, a := p.M.Cache, p.M.Block
+	if p.M.RW == msg.Read {
+		// Case 2: a clean ejection can return a Present1 block to Absent.
+		if c.State(a) == directory.Present1 {
+			c.setState(a, directory.Absent)
+			c.tbRecord(a, nil)
+		} else {
+			c.tbRemoveOwner(a, k)
+		}
+		c.done(a)
+		return
+	}
+	// Case 3: await the put, write back, state becomes Absent.
+	c.await(a, func(owner int, data uint64) {
+		c.kernel.After(c.cfg.Lat.Memory, func() {
+			c.mem.Write(a, data)
+			if c.State(a) == directory.PresentM {
+				c.setState(a, directory.Absent)
+			}
+			c.tbRecord(a, nil)
+			c.done(a)
+		})
+	})
+}
+
+// invalidate sends the invalidation for block a exempting cache k: a
+// BROADINV broadcast, or directed INVs when the translation buffer knows
+// the exact owner set (§4.4). It then deletes queued MREQUESTs from other
+// caches (§3.2.5) — those caches convert on the invalidation themselves.
+func (c *Controller) invalidate(a addr.Block, k int) {
+	if owners, ok := c.tbLookup(a); ok {
+		for _, o := range owners {
+			if o == k {
+				continue
+			}
+			c.stats.DirectedSends.Inc()
+			c.send(c.cfg.Topo.CacheNode(o), msg.Message{Kind: msg.KindInv, Block: a, Cache: o})
+		}
+	} else {
+		c.stats.Broadcasts.Inc()
+		c.net.Broadcast(c.node(), msg.Message{Kind: msg.KindBroadInv, Block: a, Cache: k},
+			c.broadcastExcept(k)...)
+	}
+	if n := c.ser.DeleteQueued(a, func(p proto.Pending) bool {
+		return p.M.Kind == msg.KindMRequest && p.M.Cache != k
+	}); n > 0 {
+		c.stats.DeletedMRequests.Add(uint64(n))
+	}
+}
+
+// query asks the unknown owner of block a (state PresentM) for its data:
+// a BROADQUERY broadcast, or a directed PURGE on a translation-buffer hit.
+// onData runs when the data arrives (possibly via a racing eviction).
+func (c *Controller) query(a addr.Block, rw msg.RW, k int, onData func(owner int, data uint64)) {
+	if puts := c.stashed[a]; len(puts) > 0 {
+		// The owner's eviction already delivered the data (its EJECT was
+		// queued behind us and its put arrived early). Consume it and
+		// delete the now-subsumed EJECT.
+		put := puts[0]
+		if len(puts) == 1 {
+			delete(c.stashed, a)
+		} else {
+			c.stashed[a] = puts[1:]
+		}
+		c.ser.DeleteQueued(a, func(p proto.Pending) bool {
+			return p.M.Kind == msg.KindEject && p.M.RW == msg.Write && p.M.Cache == put.cache
+		})
+		c.kernel.After(0, func() { onData(put.cache, put.data) })
+		return
+	}
+	if owners, ok := c.tbLookup(a); ok && len(owners) > 0 {
+		for _, o := range owners {
+			if o == k {
+				continue
+			}
+			c.stats.DirectedSends.Inc()
+			c.send(c.cfg.Topo.CacheNode(o), msg.Message{Kind: msg.KindPurge, Block: a, Cache: o, RW: rw})
+		}
+	} else {
+		if ok {
+			// An empty owner set contradicts PresentM; distrust the buffer.
+			c.tbDrop(a)
+		}
+		c.stats.Broadcasts.Inc()
+		c.net.Broadcast(c.node(), msg.Message{Kind: msg.KindBroadQuery, Block: a, RW: rw, Cache: k},
+			c.broadcastExcept(k)...)
+	}
+	c.await(a, onData)
+}
+
+// await registers the active transaction's data continuation, consuming a
+// stashed put if one is already buffered.
+func (c *Controller) await(a addr.Block, onData func(owner int, data uint64)) {
+	if puts := c.stashed[a]; len(puts) > 0 {
+		put := puts[0]
+		if len(puts) == 1 {
+			delete(c.stashed, a)
+		} else {
+			c.stashed[a] = puts[1:]
+		}
+		c.kernel.After(0, func() { onData(put.cache, put.data) })
+		return
+	}
+	if _, dup := c.waiting[a]; dup {
+		panic(fmt.Sprintf("core: controller %d: two waiters for %v", c.cfg.Module, a))
+	}
+	c.waiting[a] = onData
+}
+
+// done completes the active transaction on block a.
+func (c *Controller) done(a addr.Block) {
+	if since, ok := c.activeSince[a]; ok {
+		c.stats.BusyCycles.Add(uint64(c.kernel.Now() - since))
+		delete(c.activeSince, a)
+	}
+	c.ser.Done(a)
+}
+
+// broadcastExcept builds the exclusion list for a broadcast exempting
+// cache k: the controller's broadcasts go to caches only, so all other
+// controllers are excluded too.
+func (c *Controller) broadcastExcept(k int) []network.NodeID {
+	var except []network.NodeID
+	if k >= 0 {
+		except = append(except, c.cfg.Topo.CacheNode(k))
+	}
+	for j := 0; j < c.cfg.Topo.Modules; j++ {
+		if j != c.cfg.Module {
+			except = append(except, c.cfg.Topo.CtrlNode(j))
+		}
+	}
+	for d := 0; d < c.cfg.Topo.DMA; d++ {
+		except = append(except, c.cfg.Topo.DMANode(d))
+	}
+	return except
+}
+
+// Translation-buffer helpers; all are no-ops when the buffer is disabled.
+
+func (c *Controller) tbLookup(a addr.Block) ([]int, bool) {
+	if c.tb == nil {
+		return nil, false
+	}
+	owners, ok := c.tb.Lookup(a)
+	if ok {
+		c.stats.TBHits.Inc()
+	} else {
+		c.stats.TBMisses.Inc()
+	}
+	return owners, ok
+}
+
+func (c *Controller) tbRecord(a addr.Block, owners []int) {
+	if c.tb != nil {
+		c.tb.Record(a, owners)
+	}
+}
+
+func (c *Controller) tbAddOwner(a addr.Block, k int) {
+	if c.tb != nil {
+		c.tb.AddOwner(a, k)
+	}
+}
+
+func (c *Controller) tbRemoveOwner(a addr.Block, k int) {
+	if c.tb != nil {
+		c.tb.RemoveOwner(a, k)
+	}
+}
+
+func (c *Controller) tbDrop(a addr.Block) {
+	if c.tb != nil {
+		c.tb.Drop(a)
+	}
+}

@@ -1,0 +1,82 @@
+package directory
+
+import "twobit/internal/addr"
+
+// DupTagStore is the Tang-style (§2.4.1) central duplicate of every
+// cache's directory. The central controller updates it on every cache
+// directory change and can therefore answer "which caches hold block a?"
+// exactly, like the full map — the cost is centralization, modeled in
+// internal/duplication as a serial service bottleneck.
+type DupTagStore struct {
+	// present[c] is the set of blocks cache c currently holds.
+	present []map[addr.Block]bool
+	// modifiedBy[a] is the cache holding a modified, or -1.
+	modifiedBy map[addr.Block]int
+}
+
+// NewDupTagStore returns a store for caches caches.
+func NewDupTagStore(caches int) *DupTagStore {
+	p := make([]map[addr.Block]bool, caches)
+	for i := range p {
+		p[i] = make(map[addr.Block]bool)
+	}
+	return &DupTagStore{present: p, modifiedBy: make(map[addr.Block]int)}
+}
+
+// Caches returns the number of tracked caches.
+func (d *DupTagStore) Caches() int { return len(d.present) }
+
+// NoteFill records that cache now holds block (clean).
+func (d *DupTagStore) NoteFill(cache int, block addr.Block) {
+	d.present[cache][block] = true
+}
+
+// NoteEvict records that cache no longer holds block.
+func (d *DupTagStore) NoteEvict(cache int, block addr.Block) {
+	delete(d.present[cache], block)
+	if d.modifiedBy[block] == cache+1 {
+		delete(d.modifiedBy, block)
+	}
+}
+
+// NoteModify records that cache holds block modified.
+func (d *DupTagStore) NoteModify(cache int, block addr.Block) {
+	d.present[cache][block] = true
+	d.modifiedBy[block] = cache + 1 // store +1 so zero value means "nobody"
+}
+
+// NoteClean records that block is no longer modified anywhere.
+func (d *DupTagStore) NoteClean(block addr.Block) {
+	delete(d.modifiedBy, block)
+}
+
+// Holders returns the caches holding block, ascending.
+func (d *DupTagStore) Holders(block addr.Block) []int {
+	var out []int
+	for c := range d.present {
+		if d.present[c][block] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ModifiedBy returns the cache holding block modified, or -1.
+func (d *DupTagStore) ModifiedBy(block addr.Block) int {
+	return d.modifiedBy[block] - 1
+}
+
+// GlobalState derives the two-bit abstraction, for invariant checks.
+func (d *DupTagStore) GlobalState(block addr.Block) State {
+	if d.ModifiedBy(block) >= 0 {
+		return PresentM
+	}
+	switch len(d.Holders(block)) {
+	case 0:
+		return Absent
+	case 1:
+		return Present1
+	default:
+		return PresentStar
+	}
+}

@@ -1,0 +1,271 @@
+package fullmap
+
+import (
+	"testing"
+
+	"twobit/internal/addr"
+	"twobit/internal/cache"
+	"twobit/internal/directory"
+	"twobit/internal/memory"
+	"twobit/internal/network"
+	"twobit/internal/proto"
+	"twobit/internal/sim"
+)
+
+type rig struct {
+	kernel *sim.Kernel
+	net    *network.Crossbar
+	ctrl   *Controller
+	agents []*proto.CacheAgent
+	nextV  uint64
+}
+
+func newRig(t *testing.T, n int, exclusive bool) *rig {
+	t.Helper()
+	r := &rig{kernel: &sim.Kernel{}}
+	r.net = network.NewCrossbar(r.kernel, 1)
+	topo := proto.Topology{Caches: n, Modules: 1}
+	space := addr.Space{Blocks: 64, Modules: 1}
+	lat := proto.Latencies{CacheHit: 1, Memory: 5, CtrlService: 1}
+	mem := memory.NewModule(space, 0, lat.Memory)
+	r.ctrl = New(Config{
+		Module: 0, Topo: topo, Space: space, Lat: lat,
+		Mode: proto.PerBlock, LocalExclusive: exclusive,
+	}, r.kernel, r.net, mem)
+	for k := 0; k < n; k++ {
+		store := cache.New(cache.Config{Sets: 8, Assoc: 2})
+		r.agents = append(r.agents, proto.NewCacheAgent(proto.AgentConfig{
+			Index: k, Topo: topo, Lat: lat, ExclusiveGrants: exclusive,
+		}, r.kernel, r.net, store))
+	}
+	return r
+}
+
+func (r *rig) do(t *testing.T, k int, block addr.Block, write bool) uint64 {
+	t.Helper()
+	var version uint64
+	if write {
+		r.nextV++
+		version = r.nextV
+	}
+	var got uint64
+	completed := false
+	r.agents[k].Access(addr.Ref{Block: block, Write: write}, version, func(v uint64) {
+		got = v
+		completed = true
+	})
+	r.kernel.Run()
+	if !completed {
+		t.Fatalf("cache %d: reference to %v did not complete", k, block)
+	}
+	return got
+}
+
+func TestExactHolderTracking(t *testing.T) {
+	r := newRig(t, 4, false)
+	r.do(t, 0, 5, false)
+	r.do(t, 2, 5, false)
+	h := r.ctrl.Holders(5)
+	if len(h) != 2 || h[0] != 0 || h[1] != 2 {
+		t.Fatalf("Holders = %v, want [0 2]", h)
+	}
+	if r.ctrl.State(5) != directory.PresentStar {
+		t.Fatalf("derived state = %v", r.ctrl.State(5))
+	}
+}
+
+func TestNoBroadcastsEver(t *testing.T) {
+	r := newRig(t, 4, false)
+	r.do(t, 0, 5, false)
+	r.do(t, 1, 5, false)
+	r.do(t, 2, 5, true)  // directed INVs
+	r.do(t, 3, 5, false) // directed PURGE
+	r.do(t, 3, 5, true)  // MREQUEST... write hit on unmodified
+	s := r.ctrl.CtrlStats()
+	if s.Broadcasts.Value() != 0 {
+		t.Fatalf("full map broadcast %d times", s.Broadcasts.Value())
+	}
+	if s.DirectedSends.Value() == 0 {
+		t.Fatal("no directed sends recorded")
+	}
+}
+
+func TestUninvolvedCachesUndisturbed(t *testing.T) {
+	r := newRig(t, 8, false)
+	r.do(t, 0, 5, false)
+	r.do(t, 1, 5, true)
+	r.do(t, 0, 5, false)
+	for k := 2; k < 8; k++ {
+		if got := r.agents[k].SideStats().CommandsReceived.Value(); got != 0 {
+			t.Fatalf("cache %d received %d commands; full map must send only to holders", k, got)
+		}
+	}
+}
+
+func TestDirectedPurgeOnModified(t *testing.T) {
+	r := newRig(t, 4, false)
+	wv := r.do(t, 0, 3, true)
+	got := r.do(t, 1, 3, false)
+	if got != wv {
+		t.Fatalf("reader got v%d, want v%d", got, wv)
+	}
+	if r.ctrl.Modified(3) {
+		t.Fatal("m bit still set after read purge")
+	}
+	h := r.ctrl.Holders(3)
+	if len(h) != 2 {
+		t.Fatalf("Holders = %v, want previous owner + reader", h)
+	}
+	if r.ctrl.MemVersion(3) != wv {
+		t.Fatal("write-back missing")
+	}
+}
+
+func TestEjectClearsPresence(t *testing.T) {
+	r := newRig(t, 2, false)
+	r.do(t, 0, 1, false)
+	r.do(t, 0, 17, false)
+	r.do(t, 0, 33, false) // evict block 1
+	if n := r.ctrl.dir.HolderCount(r.ctrl.local(1)); n != 0 {
+		t.Fatalf("holder count = %d after clean ejection", n)
+	}
+}
+
+func TestMRequestGrantRequiresPresence(t *testing.T) {
+	r := newRig(t, 2, false)
+	r.do(t, 0, 8, false)
+	r.do(t, 1, 8, false)
+	r.do(t, 0, 8, true) // MREQUEST, granted with directed INV to 1
+	if !r.ctrl.dir.Modified(r.ctrl.local(8)) {
+		t.Fatal("m bit not set after granted MREQUEST")
+	}
+	if r.agents[1].Store().Lookup(8) != nil {
+		t.Fatal("other holder survived the directed INV")
+	}
+}
+
+func TestExclusiveGrantOnColdRead(t *testing.T) {
+	r := newRig(t, 4, true)
+	r.do(t, 0, 6, false)
+	f := r.agents[0].Store().Lookup(6)
+	if f == nil || !f.Exclusive {
+		t.Fatalf("cold read did not grant exclusivity: %+v", f)
+	}
+	if !r.ctrl.Modified(6) {
+		t.Fatal("directory must pessimistically set the m bit for an exclusive grant")
+	}
+	// A silent write must not contact the controller.
+	before := r.ctrl.CtrlStats().MRequests.Value()
+	r.do(t, 0, 6, true)
+	if r.ctrl.CtrlStats().MRequests.Value() != before {
+		t.Fatal("exclusive write sent an MREQUEST")
+	}
+	if f := r.agents[0].Store().Lookup(6); !f.Modified {
+		t.Fatal("silent upgrade did not set the modified bit")
+	}
+}
+
+func TestExclusiveOwnerAnswersPurgeWhenClean(t *testing.T) {
+	r := newRig(t, 2, true)
+	r.do(t, 0, 6, false) // exclusive, never written
+	got := r.do(t, 1, 6, false)
+	if got != 0 {
+		t.Fatalf("reader got v%d, want the initial v0", got)
+	}
+	f0 := r.agents[0].Store().Lookup(6)
+	if f0 == nil || f0.Exclusive || f0.Modified {
+		t.Fatalf("previous exclusive owner frame = %+v, want plain clean copy", f0)
+	}
+	if r.ctrl.Modified(6) {
+		t.Fatal("m bit still set after the purge round")
+	}
+}
+
+func TestExclusiveSecondReaderNotExclusive(t *testing.T) {
+	r := newRig(t, 2, true)
+	r.do(t, 0, 6, false)
+	r.do(t, 1, 6, false)
+	if f := r.agents[1].Store().Lookup(6); f == nil || f.Exclusive {
+		t.Fatalf("second reader's frame = %+v, must not be exclusive", f)
+	}
+}
+
+func TestExclusiveCleanEjectClearsPessimisticBit(t *testing.T) {
+	r := newRig(t, 2, true)
+	r.do(t, 0, 1, false) // exclusive
+	r.do(t, 0, 17, false)
+	r.do(t, 0, 33, false) // clean eject of the exclusive copy
+	if r.ctrl.Modified(1) {
+		t.Fatal("pessimistic m bit dangles after the exclusive copy was ejected")
+	}
+	// The block must be usable afterwards.
+	if got := r.do(t, 1, 1, false); got != 0 {
+		t.Fatalf("subsequent read got v%d", got)
+	}
+}
+
+// start issues a reference without draining the kernel, for race setups.
+func (r *rig) start(k int, block addr.Block, write bool, done *bool) {
+	var version uint64
+	if write {
+		r.nextV++
+		version = r.nextV
+	}
+	r.agents[k].Access(addr.Ref{Block: block, Write: write}, version, func(uint64) {
+		*done = true
+	})
+}
+
+// TestEjectRacesPurge: the modified owner evicts while another cache
+// read-misses; the controller must fold the eviction's put into the PURGE
+// wait and clear the evicted owner's presence bit.
+func TestEjectRacesPurge(t *testing.T) {
+	r := newRig(t, 2, false)
+	r.do(t, 0, 1, true) // cache 0 owns block 1 modified
+	var doneEvict, doneRead bool
+	r.start(0, 17, false, &doneEvict) // 17 % 8 = 1: evicts block 1... assoc 2, need two fills
+	r.start(1, 1, false, &doneRead)
+	r.kernel.Run()
+	if !doneEvict || !doneRead {
+		t.Fatalf("incomplete: evict=%v read=%v", doneEvict, doneRead)
+	}
+	if !r.ctrl.Quiescent() {
+		t.Fatal("controller left waiting")
+	}
+	if r.ctrl.MemVersion(1) == 0 {
+		t.Fatal("modified data lost")
+	}
+	// Exact bookkeeping must hold: every recorded holder really holds.
+	for _, h := range r.ctrl.Holders(1) {
+		if r.agents[h].Store().Lookup(1) == nil {
+			t.Fatalf("map records cache %d as holder; its cache disagrees", h)
+		}
+	}
+}
+
+// TestRacingMRequestsFullMap: the §3.2.5 scenario with exact knowledge —
+// the loser's queued MREQUEST is either deleted or denied via the cleared
+// presence bit.
+func TestRacingMRequestsFullMap(t *testing.T) {
+	r := newRig(t, 2, false)
+	r.do(t, 0, 8, false)
+	r.do(t, 1, 8, false)
+	var done0, done1 bool
+	r.start(0, 8, true, &done0)
+	r.start(1, 8, true, &done1)
+	r.kernel.Run()
+	if !done0 || !done1 {
+		t.Fatal("racing stores incomplete")
+	}
+	if !r.ctrl.Modified(8) {
+		t.Fatal("block not modified after both stores")
+	}
+	holders := r.ctrl.Holders(8)
+	if len(holders) != 1 {
+		t.Fatalf("holders = %v, want exactly one", holders)
+	}
+	f := r.agents[holders[0]].Store().Lookup(8)
+	if f == nil || !f.Modified {
+		t.Fatalf("recorded owner's frame = %+v", f)
+	}
+}

@@ -1,0 +1,83 @@
+// Package memory models the main-memory modules M_i of Figure 3-1. Each
+// module stores the data (as version numbers — see the oracle discussion in
+// internal/system) for the blocks interleaved onto it and charges a fixed
+// access latency, which its memory controller accounts for when servicing
+// transactions.
+package memory
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/sim"
+	"twobit/internal/stats"
+)
+
+// Module is one memory module. It is a passive store; timing is applied by
+// the controller via Latency.
+type Module struct {
+	space   addr.Space
+	index   int
+	data    []uint64
+	latency sim.Time
+	stats   Stats
+}
+
+// Stats counts module traffic.
+type Stats struct {
+	Reads  stats.Counter
+	Writes stats.Counter
+}
+
+// NewModule returns module index of space with the given access latency.
+func NewModule(space addr.Space, index int, latency sim.Time) *Module {
+	if err := space.Validate(); err != nil {
+		panic(err)
+	}
+	if index < 0 || index >= space.Modules {
+		panic(fmt.Sprintf("memory: module index %d outside [0,%d)", index, space.Modules))
+	}
+	if latency < 0 {
+		panic("memory: negative latency")
+	}
+	return &Module{
+		space:   space,
+		index:   index,
+		data:    make([]uint64, space.BlocksInModule(index)),
+		latency: latency,
+	}
+}
+
+// Latency returns the access time in cycles.
+func (m *Module) Latency() sim.Time { return m.latency }
+
+// Stats returns the module's counters.
+func (m *Module) Stats() *Stats { return &m.stats }
+
+// Owns reports whether block b is interleaved onto this module.
+func (m *Module) Owns(b addr.Block) bool {
+	return int(uint64(b))%m.space.Modules == m.index && int(b) < m.space.Blocks
+}
+
+func (m *Module) slot(b addr.Block) int {
+	if b.Module(m.space.Modules) != m.index {
+		panic(fmt.Sprintf("memory: %v does not belong to module %d", b, m.index))
+	}
+	li := m.space.LocalIndex(b)
+	if li >= len(m.data) {
+		panic(fmt.Sprintf("memory: %v beyond module %d capacity", b, m.index))
+	}
+	return li
+}
+
+// Read returns the stored version of block b.
+func (m *Module) Read(b addr.Block) uint64 {
+	m.stats.Reads.Inc()
+	return m.data[m.slot(b)]
+}
+
+// Write stores version v for block b (a write-back or write-through).
+func (m *Module) Write(b addr.Block, v uint64) {
+	m.stats.Writes.Inc()
+	m.data[m.slot(b)] = v
+}

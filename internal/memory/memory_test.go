@@ -1,0 +1,74 @@
+package memory
+
+import (
+	"testing"
+
+	"twobit/internal/addr"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := addr.Space{Blocks: 16, Modules: 4}
+	m := NewModule(s, 1, 20)
+	if m.Latency() != 20 {
+		t.Fatalf("Latency = %d", m.Latency())
+	}
+	// Module 1 owns blocks 1, 5, 9, 13.
+	for _, b := range []addr.Block{1, 5, 9, 13} {
+		if got := m.Read(b); got != 0 {
+			t.Fatalf("initial Read(%v) = %d", b, got)
+		}
+		m.Write(b, uint64(b)*7)
+	}
+	for _, b := range []addr.Block{1, 5, 9, 13} {
+		if got := m.Read(b); got != uint64(b)*7 {
+			t.Fatalf("Read(%v) = %d, want %d", b, got, uint64(b)*7)
+		}
+	}
+	if m.Stats().Reads.Value() != 8 || m.Stats().Writes.Value() != 4 {
+		t.Fatalf("stats = %d reads %d writes", m.Stats().Reads.Value(), m.Stats().Writes.Value())
+	}
+}
+
+func TestWrongModulePanics(t *testing.T) {
+	m := NewModule(addr.Space{Blocks: 16, Modules: 4}, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("access to foreign block did not panic")
+		}
+	}()
+	m.Read(2) // block 2 belongs to module 2
+}
+
+func TestOwns(t *testing.T) {
+	m := NewModule(addr.Space{Blocks: 10, Modules: 4}, 2, 0)
+	if !m.Owns(2) || !m.Owns(6) || m.Owns(3) || m.Owns(14) {
+		t.Fatal("Owns wrong")
+	}
+}
+
+func TestConstructionValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewModule(addr.Space{Blocks: 0, Modules: 1}, 0, 0) },
+		func() { NewModule(addr.Space{Blocks: 4, Modules: 2}, 2, 0) },
+		func() { NewModule(addr.Space{Blocks: 4, Modules: 2}, 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnevenInterleaving(t *testing.T) {
+	// 10 blocks over 4 modules: modules 0,1 get 3 blocks; 2,3 get 2.
+	s := addr.Space{Blocks: 10, Modules: 4}
+	m0 := NewModule(s, 0, 0)
+	m0.Write(8, 99) // block 8 is module 0's third block
+	if m0.Read(8) != 99 {
+		t.Fatal("uneven interleaving broken")
+	}
+}

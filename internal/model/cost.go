@@ -1,0 +1,85 @@
+package model
+
+import "fmt"
+
+// Hardware-economy model (§2.4.2 and §3.1): the directory storage each
+// scheme adds per memory block, and the §2.3 closed form for classical
+// invalidation traffic. These are the "economical" half of the paper's
+// title, quantified.
+
+// FullMapDirectoryBits returns the n+1-bit tag size of the
+// Censier–Feautrier map for n processors.
+func FullMapDirectoryBits(procs int) int {
+	if procs < 1 {
+		panic(fmt.Sprintf("model: processor count %d must be ≥ 1", procs))
+	}
+	return procs + 1
+}
+
+// TwoBitDirectoryBits returns the two-bit scheme's tag size — the
+// constant 2, independent of the processor count; the constancy is the
+// scheme's entire point.
+func TwoBitDirectoryBits() int { return 2 }
+
+// DirectoryOverhead returns tag bits as a fraction of the block's data
+// bits: the extra memory the directory costs.
+func DirectoryOverhead(tagBits, blockBytes int) float64 {
+	if blockBytes < 1 {
+		panic(fmt.Sprintf("model: block size %d must be ≥ 1 byte", blockBytes))
+	}
+	return float64(tagBits) / float64(blockBytes*8)
+}
+
+// Paper example (§2.4.2): "if the block size is 16 bytes and there are 16
+// processors in the system, a tag of 17 bits is required for each block
+// of 256 bits (assuming 8 bit bytes), requiring a total of almost 15%
+// extra memory."
+//
+// Note the printed "256 bits" is arithmetic erratum #3: 16 bytes are 128
+// bits, and 17/128 = 13.3% ("almost 15%"); with 256 bits the overhead
+// would be 6.6%, which is not almost 15%. The functions above use the
+// correct 128.
+
+// CostRow is one line of the economy comparison.
+type CostRow struct {
+	Procs           int
+	FullMapBits     int
+	TwoBitBits      int
+	FullMapOverhead float64 // fraction of data memory
+	TwoBitOverhead  float64
+	SavingsFactor   float64 // full-map bits / two-bit bits
+}
+
+// CostTable compares directory storage across the Table 4-1 processor
+// counts for the given block size.
+func CostTable(blockBytes int) []CostRow {
+	rows := make([]CostRow, 0, len(Table41N))
+	for _, n := range Table41N {
+		fm := FullMapDirectoryBits(n)
+		tb := TwoBitDirectoryBits()
+		rows = append(rows, CostRow{
+			Procs:           n,
+			FullMapBits:     fm,
+			TwoBitBits:      tb,
+			FullMapOverhead: DirectoryOverhead(fm, blockBytes),
+			TwoBitOverhead:  DirectoryOverhead(tb, blockBytes),
+			SavingsFactor:   float64(fm) / float64(tb),
+		})
+	}
+	return rows
+}
+
+// ClassicalInvalidationsPerRef returns the §2.3 scheme's exact command
+// traffic: every write broadcasts an invalidation to the other n−1
+// caches, so each cache receives (n−1)·P(write) commands per memory
+// reference, independent of sharing — "the traffic generated on the
+// cache invalidation line … becomes rapidly prohibitive".
+func ClassicalInvalidationsPerRef(procs int, writeFrac float64) float64 {
+	if procs < 1 {
+		panic(fmt.Sprintf("model: processor count %d must be ≥ 1", procs))
+	}
+	if writeFrac < 0 || writeFrac > 1 {
+		panic(fmt.Sprintf("model: write fraction %v outside [0,1]", writeFrac))
+	}
+	return float64(procs-1) * writeFrac
+}

@@ -1,0 +1,97 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPaperCostExample verifies the §2.4.2 example and documents the
+// paper's third erratum: 16-byte blocks are 128 bits (the paper prints
+// 256), and the 17-bit tag then costs 13.3% — "almost 15%".
+func TestPaperCostExample(t *testing.T) {
+	bits := FullMapDirectoryBits(16)
+	if bits != 17 {
+		t.Fatalf("full map tag for 16 processors = %d bits, want 17", bits)
+	}
+	overhead := DirectoryOverhead(bits, 16)
+	if math.Abs(overhead-17.0/128.0) > 1e-12 {
+		t.Fatalf("overhead = %v, want 17/128", overhead)
+	}
+	if overhead < 0.12 || overhead > 0.15 {
+		t.Fatalf("overhead %.3f not 'almost 15%%'", overhead)
+	}
+	// With the paper's printed 256 bits the claim would not hold:
+	if wrong := 17.0 / 256.0; wrong > 0.10 {
+		t.Fatalf("sanity: 17/256 = %v should be well under 10%%", wrong)
+	}
+}
+
+func TestTwoBitCostIndependentOfProcs(t *testing.T) {
+	if TwoBitDirectoryBits() != 2 {
+		t.Fatal("two-bit tag is not two bits")
+	}
+	rows := CostTable(16)
+	if len(rows) != len(Table41N) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.TwoBitBits != 2 {
+			t.Fatalf("two-bit bits vary: %+v", r)
+		}
+		if r.FullMapBits != Table41N[i]+1 {
+			t.Fatalf("full map bits wrong: %+v", r)
+		}
+		if r.SavingsFactor != float64(r.FullMapBits)/2 {
+			t.Fatalf("savings factor wrong: %+v", r)
+		}
+		if i > 0 && rows[i].FullMapOverhead <= rows[i-1].FullMapOverhead {
+			t.Fatal("full map overhead not growing with n")
+		}
+		if r.TwoBitOverhead != rows[0].TwoBitOverhead {
+			t.Fatal("two-bit overhead varies with n")
+		}
+	}
+	// At n=64 the savings factor is 32.5×.
+	last := rows[len(rows)-1]
+	if last.SavingsFactor != 32.5 {
+		t.Fatalf("n=64 savings = %v, want 32.5", last.SavingsFactor)
+	}
+}
+
+func TestClassicalInvalidationsPerRef(t *testing.T) {
+	// 8 processors, 30% writes: each cache receives 7×0.3 = 2.1 commands
+	// per reference it issues — matching the ~2.05 measured in E6 (the
+	// small gap is the serialization of same-block writes).
+	if v := ClassicalInvalidationsPerRef(8, 0.3); math.Abs(v-2.1) > 1e-12 {
+		t.Fatalf("classical overhead = %v, want 2.1", v)
+	}
+	if v := ClassicalInvalidationsPerRef(1, 0.5); v != 0 {
+		t.Fatalf("single processor classical overhead = %v", v)
+	}
+	prev := -1.0
+	for _, n := range Table41N {
+		v := ClassicalInvalidationsPerRef(n, 0.2)
+		if v <= prev {
+			t.Fatal("classical overhead not growing with n")
+		}
+		prev = v
+	}
+}
+
+func TestCostPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"procs0":    func() { FullMapDirectoryBits(0) },
+		"block0":    func() { DirectoryOverhead(2, 0) },
+		"classical": func() { ClassicalInvalidationsPerRef(0, 0.2) },
+		"wfrac":     func() { ClassicalInvalidationsPerRef(4, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

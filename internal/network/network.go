@@ -1,0 +1,353 @@
+// Package network models the interconnection network of Figure 3-1 linking
+// processor-cache pairs with the memory-controller/memory-module pairs.
+//
+// Three implementations cover the design space the paper discusses:
+//
+//   - Crossbar: an ideal point-to-point network with a fixed latency and
+//     per-(source,destination) FIFO ordering. This is the paper's "general
+//     interconnection network" where broadcasts are expensive: a broadcast
+//     is materialized as one message per destination.
+//   - Bus: a single shared, arbitrated medium where every attached node can
+//     snoop every transaction — the substrate for §2.5's bus schemes, where
+//     a broadcast costs one bus transaction.
+//   - Omega: a blocking multistage network; messages reserve a link slot at
+//     every stage, so contention (including broadcast-induced contention,
+//     the concern raised in §4.3) is visible in delivery latency.
+//
+// All implementations deliver messages through the shared discrete-event
+// kernel and preserve FIFO order per (source, destination) pair, which the
+// coherence protocols rely on.
+package network
+
+import (
+	"fmt"
+
+	"twobit/internal/msg"
+	"twobit/internal/rng"
+	"twobit/internal/sim"
+	"twobit/internal/stats"
+)
+
+// NodeID identifies an attached component (cache or memory controller).
+type NodeID int
+
+// Handler receives delivered messages.
+type Handler interface {
+	Deliver(src NodeID, m msg.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(src NodeID, m msg.Message)
+
+// Deliver calls f(src, m).
+func (f HandlerFunc) Deliver(src NodeID, m msg.Message) { f(src, m) }
+
+// Network is the interface the protocols program against.
+type Network interface {
+	// Attach registers h as the receiver for id. Attaching the same id
+	// twice panics: it is always a wiring bug.
+	Attach(id NodeID, h Handler)
+	// Send delivers m from src to dst after the network's latency.
+	Send(src, dst NodeID, m msg.Message)
+	// Broadcast delivers m from src to every attached node except src and
+	// the ids in except, and returns the number of copies sent. The paper's
+	// BROADINV/BROADQUERY use except to skip the initiating cache k.
+	Broadcast(src NodeID, m msg.Message, except ...NodeID) int
+	// Stats returns the network's traffic counters.
+	Stats() *Stats
+}
+
+// Stats counts network traffic. ControlMessages vs DataMessages follow
+// Table 3-1's distinction between commands and data transfers.
+type Stats struct {
+	Messages        stats.Counter // total deliveries
+	ControlMessages stats.Counter // command deliveries
+	DataMessages    stats.Counter // data transfer deliveries
+	Broadcasts      stats.Counter // broadcast operations (not per-copy)
+	BroadcastCopies stats.Counter // individual deliveries caused by broadcasts
+	BusBusyCycles   stats.Counter // cycles the shared medium was occupied (Bus)
+	StageConflicts  stats.Counter // link-slot conflicts observed (Omega)
+}
+
+func (s *Stats) count(m msg.Message) {
+	s.Messages.Inc()
+	if m.Kind.IsData() {
+		s.DataMessages.Inc()
+	} else {
+		s.ControlMessages.Inc()
+	}
+}
+
+// base holds the bookkeeping all implementations share.
+type base struct {
+	kernel   *sim.Kernel
+	handlers map[NodeID]Handler
+	order    []NodeID // attachment order, for deterministic broadcast fan-out
+	stats    Stats
+}
+
+func newBase(k *sim.Kernel) base {
+	return base{kernel: k, handlers: make(map[NodeID]Handler)}
+}
+
+func (b *base) Attach(id NodeID, h Handler) {
+	if h == nil {
+		panic("network: Attach with nil handler")
+	}
+	if _, dup := b.handlers[id]; dup {
+		panic(fmt.Sprintf("network: node %d attached twice", id))
+	}
+	b.handlers[id] = h
+	b.order = append(b.order, id)
+}
+
+func (b *base) Stats() *Stats { return &b.stats }
+
+func (b *base) handler(id NodeID) Handler {
+	h, ok := b.handlers[id]
+	if !ok {
+		panic(fmt.Sprintf("network: send to unattached node %d", id))
+	}
+	return h
+}
+
+func excluded(id NodeID, src NodeID, except []NodeID) bool {
+	if id == src {
+		return true
+	}
+	for _, e := range except {
+		if id == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Crossbar is an ideal point-to-point network with constant base latency
+// and, optionally, random per-message jitter. Jitter models a routed
+// interconnect whose individual message delays vary; per-(source,
+// destination) FIFO order — which the coherence protocols require — is
+// preserved by clamping each delivery to be no earlier than the pair's
+// previous one.
+type Crossbar struct {
+	base
+	latency sim.Time
+	jitter  sim.Time // max extra delay per message (0 = deterministic)
+	random  *rng.PCG
+	// lastAt enforces per-pair FIFO under jitter.
+	lastAt map[[2]NodeID]sim.Time
+}
+
+// NewCrossbar returns a crossbar delivering after latency cycles.
+func NewCrossbar(k *sim.Kernel, latency sim.Time) *Crossbar {
+	return NewJitterCrossbar(k, latency, 0, 0)
+}
+
+// NewJitterCrossbar returns a crossbar whose per-message delay is
+// latency + U[0, jitter], seeded deterministically.
+func NewJitterCrossbar(k *sim.Kernel, latency, jitter sim.Time, seed uint64) *Crossbar {
+	if latency < 0 || jitter < 0 {
+		panic("network: negative latency or jitter")
+	}
+	return &Crossbar{
+		base:    newBase(k),
+		latency: latency,
+		jitter:  jitter,
+		random:  rng.New(seed, 0x17e7),
+		lastAt:  make(map[[2]NodeID]sim.Time),
+	}
+}
+
+// Send implements Network.
+func (c *Crossbar) Send(src, dst NodeID, m msg.Message) {
+	h := c.handler(dst)
+	at := c.kernel.Now() + c.latency
+	if c.jitter > 0 {
+		at += sim.Time(c.random.Intn(int(c.jitter) + 1))
+	}
+	key := [2]NodeID{src, dst}
+	if prev := c.lastAt[key]; at < prev {
+		at = prev
+	}
+	c.lastAt[key] = at
+	c.stats.count(m)
+	c.kernel.At(at, func() { h.Deliver(src, m) })
+}
+
+// Broadcast implements Network: one message per destination (no hardware
+// broadcast in a general interconnection network).
+func (c *Crossbar) Broadcast(src NodeID, m msg.Message, except ...NodeID) int {
+	c.stats.Broadcasts.Inc()
+	n := 0
+	for _, id := range c.order {
+		if excluded(id, src, except) {
+			continue
+		}
+		c.Send(src, id, m)
+		c.stats.BroadcastCopies.Inc()
+		n++
+	}
+	return n
+}
+
+// Bus is a single shared medium: every message (point-to-point or
+// broadcast) occupies the bus for cycleTime cycles and is delivered
+// latency cycles after it wins arbitration. Arbitration is FCFS in
+// simulation order.
+type Bus struct {
+	base
+	cycleTime sim.Time
+	latency   sim.Time
+	freeAt    sim.Time
+}
+
+// NewBus returns a bus. cycleTime is the occupancy per transaction;
+// latency is the propagation delay to the destination(s).
+func NewBus(k *sim.Kernel, cycleTime, latency sim.Time) *Bus {
+	if cycleTime < 1 {
+		panic("network: bus cycle time must be ≥ 1")
+	}
+	if latency < 0 {
+		panic("network: negative latency")
+	}
+	return &Bus{base: newBase(k), cycleTime: cycleTime, latency: latency}
+}
+
+// acquire reserves the bus and returns the delivery time.
+func (b *Bus) acquire() sim.Time {
+	start := b.kernel.Now()
+	if b.freeAt > start {
+		start = b.freeAt
+	}
+	b.freeAt = start + b.cycleTime
+	b.stats.BusBusyCycles.Add(uint64(b.cycleTime))
+	return start + b.latency
+}
+
+// Send implements Network.
+func (b *Bus) Send(src, dst NodeID, m msg.Message) {
+	h := b.handler(dst)
+	at := b.acquire()
+	b.stats.count(m)
+	b.kernel.At(at, func() { h.Deliver(src, m) })
+}
+
+// Broadcast implements Network: one bus transaction, snooped by everyone.
+func (b *Bus) Broadcast(src NodeID, m msg.Message, except ...NodeID) int {
+	b.stats.Broadcasts.Inc()
+	at := b.acquire()
+	n := 0
+	for _, id := range b.order {
+		if excluded(id, src, except) {
+			continue
+		}
+		h := b.handlers[id]
+		b.stats.count(m)
+		b.stats.BroadcastCopies.Inc()
+		b.kernel.At(at, func() { h.Deliver(src, m) })
+		n++
+	}
+	return n
+}
+
+// Reserve occupies the bus for one transaction and returns the time at
+// which the transaction is visible to every snooper. It exists for
+// protocols (write-once) that model atomic bus transactions directly
+// rather than as per-destination messages; callers account the traffic via
+// Stats themselves.
+func (b *Bus) Reserve() sim.Time { return b.acquire() }
+
+// Utilization returns the fraction of elapsed time the bus was occupied.
+func (b *Bus) Utilization() float64 {
+	now := b.kernel.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(b.stats.BusBusyCycles.Value()) / float64(now)
+}
+
+// Omega is a blocking multistage interconnection network with 2×2 switches.
+// A message from src to dst traverses stages stages; at each stage it
+// reserves the earliest free slot on the link it needs, so conflicting
+// routes queue behind each other. Node ids must be < Size().
+type Omega struct {
+	base
+	stages   int
+	size     int
+	hop      sim.Time
+	linkFree [][]sim.Time // [stage][link] next free cycle
+}
+
+// NewOmega returns an omega network connecting size nodes, where size is
+// rounded up to the next power of two (minimum 2). hop is the per-stage
+// transfer time.
+func NewOmega(k *sim.Kernel, size int, hop sim.Time) *Omega {
+	if size < 2 {
+		size = 2
+	}
+	if hop < 1 {
+		panic("network: omega hop time must be ≥ 1")
+	}
+	pow := 1
+	stages := 0
+	for pow < size {
+		pow <<= 1
+		stages++
+	}
+	lf := make([][]sim.Time, stages)
+	for i := range lf {
+		lf[i] = make([]sim.Time, pow)
+	}
+	return &Omega{base: newBase(k), stages: stages, size: pow, hop: hop, linkFree: lf}
+}
+
+// Size returns the (power-of-two) port count.
+func (o *Omega) Size() int { return o.size }
+
+// route walks the perfect-shuffle stages and returns the delivery time,
+// reserving link slots along the way.
+func (o *Omega) route(src, dst NodeID) sim.Time {
+	if int(src) >= o.size || int(dst) >= o.size || src < 0 || dst < 0 {
+		panic(fmt.Sprintf("network: omega route %d→%d outside [0,%d)", src, dst, o.size))
+	}
+	cur := int(src)
+	t := o.kernel.Now()
+	for s := 0; s < o.stages; s++ {
+		// Perfect shuffle then switch setting chosen by destination bit.
+		cur = (cur<<1 | cur>>(o.stages-1)) & (o.size - 1)
+		bit := (int(dst) >> (o.stages - 1 - s)) & 1
+		cur = cur&^1 | bit
+		depart := t
+		if free := o.linkFree[s][cur]; free > depart {
+			o.stats.StageConflicts.Inc()
+			depart = free
+		}
+		o.linkFree[s][cur] = depart + o.hop
+		t = depart + o.hop
+	}
+	return t
+}
+
+// Send implements Network.
+func (o *Omega) Send(src, dst NodeID, m msg.Message) {
+	h := o.handler(dst)
+	at := o.route(src, dst)
+	o.stats.count(m)
+	o.kernel.At(at, func() { h.Deliver(src, m) })
+}
+
+// Broadcast implements Network: no hardware broadcast; one routed message
+// per destination, so broadcasts directly create stage conflicts.
+func (o *Omega) Broadcast(src NodeID, m msg.Message, except ...NodeID) int {
+	o.stats.Broadcasts.Inc()
+	n := 0
+	for _, id := range o.order {
+		if excluded(id, src, except) {
+			continue
+		}
+		o.Send(src, id, m)
+		o.stats.BroadcastCopies.Inc()
+		n++
+	}
+	return n
+}

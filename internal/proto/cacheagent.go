@@ -1,0 +1,338 @@
+package proto
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/cache"
+	"twobit/internal/msg"
+	"twobit/internal/network"
+	"twobit/internal/sim"
+)
+
+// AgentConfig configures a CacheAgent.
+type AgentConfig struct {
+	Index int      // k: this cache's index
+	Topo  Topology // node layout
+	Lat   Latencies
+	// DisableCleanEject drops EJECT(k,olda,"read") entirely — the paper
+	// notes the protocols remain correct without it, at the cost of more
+	// broadcasts (Present1 blocks can no longer return to Absent).
+	DisableCleanEject bool
+	// ExclusiveGrants enables the Yen–Fu local state (§2.4.3): a get whose
+	// Ok flag is set confers exclusivity, and a write hit on an Exclusive
+	// frame upgrades to Modified silently, with no MREQUEST.
+	ExclusiveGrants bool
+	// Commit is the oracle hook; may be nil.
+	Commit CommitFunc
+}
+
+// CacheAgent is the cache-side coherence logic shared by the directory
+// protocols (two-bit and full map). It implements the P_i–C_i column of
+// Table 3-1: it issues REQUEST/MREQUEST/EJECT and the put data transfer,
+// and it reacts to BROADINV/INV, BROADQUERY/PURGE, MGRANTED and get. The
+// protocols differ only at the controller; the paper makes the same
+// observation when it notes that cache-side invalidation logic matches the
+// classical solution's.
+type CacheAgent struct {
+	cfg    AgentConfig
+	kernel *sim.Kernel
+	net    network.Network
+	store  *cache.Cache
+	stats  CacheSideStats
+
+	pend *pendingRef
+}
+
+type pendPhase uint8
+
+const (
+	pendAwaitMGrant pendPhase = iota // MREQUEST outstanding
+	pendAwaitGet                     // REQUEST outstanding
+)
+
+type pendingRef struct {
+	ref          addr.Ref
+	writeVersion uint64
+	done         func(uint64)
+	phase        pendPhase
+}
+
+// NewCacheAgent wires a cache agent to the network. store must be a
+// freshly constructed cache dedicated to this agent.
+func NewCacheAgent(cfg AgentConfig, kernel *sim.Kernel, net network.Network, store *cache.Cache) *CacheAgent {
+	if err := cfg.Topo.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Index < 0 || cfg.Index >= cfg.Topo.Caches {
+		panic(fmt.Sprintf("proto: agent index %d outside [0,%d)", cfg.Index, cfg.Topo.Caches))
+	}
+	a := &CacheAgent{cfg: cfg, kernel: kernel, net: net, store: store}
+	net.Attach(cfg.Topo.CacheNode(cfg.Index), a)
+	return a
+}
+
+// Store implements CacheSide.
+func (a *CacheAgent) Store() *cache.Cache { return a.store }
+
+// SideStats implements CacheSide.
+func (a *CacheAgent) SideStats() *CacheSideStats { return &a.stats }
+
+// Busy reports whether a processor reference is outstanding.
+func (a *CacheAgent) Busy() bool { return a.pend != nil }
+
+func (a *CacheAgent) node() network.NodeID { return a.cfg.Topo.CacheNode(a.cfg.Index) }
+
+func (a *CacheAgent) send(dst network.NodeID, m msg.Message) {
+	a.net.Send(a.node(), dst, m)
+}
+
+func (a *CacheAgent) commit(b addr.Block, v uint64) {
+	if a.cfg.Commit != nil {
+		a.cfg.Commit(b, v)
+	}
+}
+
+// Access implements CacheSide. It panics if a reference is already
+// outstanding: the simulated processors block on memory accesses, and an
+// overlap always indicates a harness bug.
+func (a *CacheAgent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)) {
+	if a.pend != nil {
+		panic(fmt.Sprintf("proto: cache %d: overlapping references", a.cfg.Index))
+	}
+	if done == nil {
+		panic("proto: nil done callback")
+	}
+	a.stats.References.Inc()
+	if ref.Write {
+		a.stats.Writes.Inc()
+	} else {
+		a.stats.Reads.Inc()
+	}
+
+	if f := a.store.Access(ref.Block); f != nil {
+		a.hit(ref, f, writeVersion, done)
+		return
+	}
+	a.miss(ref, writeVersion, done)
+}
+
+// hit handles the two purely local cases (read hit; write hit on modified)
+// plus the MREQUEST and Yen–Fu exclusive-upgrade paths.
+func (a *CacheAgent) hit(ref addr.Ref, f *cache.Frame, writeVersion uint64, done func(uint64)) {
+	lat := a.cfg.Lat.CacheHit
+	if !ref.Write {
+		v := f.Data
+		a.kernel.After(lat, func() { done(v) })
+		return
+	}
+	if f.Modified {
+		f.Data = writeVersion
+		a.commit(ref.Block, writeVersion)
+		a.kernel.After(lat, func() { done(writeVersion) })
+		return
+	}
+	if a.cfg.ExclusiveGrants && f.Exclusive {
+		f.Modified = true
+		f.Data = writeVersion
+		a.stats.ExclusiveWrites.Inc()
+		a.commit(ref.Block, writeVersion)
+		a.kernel.After(lat, func() { done(writeVersion) })
+		return
+	}
+	// §3.2.4: write hit on previously unmodified block — MREQUEST.
+	a.pend = &pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitMGrant}
+	a.stats.MRequestsSent.Inc()
+	a.send(a.cfg.Topo.CtrlFor(ref.Block), msg.Message{
+		Kind: msg.KindMRequest, Block: ref.Block, Cache: a.cfg.Index,
+	})
+}
+
+// miss performs §3.2.1 replacement, then issues the REQUEST.
+func (a *CacheAgent) miss(ref addr.Ref, writeVersion uint64, done func(uint64)) {
+	a.evictFor(ref.Block)
+	rw := msg.Read
+	if ref.Write {
+		rw = msg.Write
+	}
+	a.pend = &pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitGet}
+	a.send(a.cfg.Topo.CtrlFor(ref.Block), msg.Message{
+		Kind: msg.KindRequest, Block: ref.Block, Cache: a.cfg.Index, RW: rw,
+	})
+}
+
+// evictFor frees a frame for block b, running the §3.2.1 replacement
+// protocol on the victim if one must be displaced.
+func (a *CacheAgent) evictFor(b addr.Block) {
+	victim := a.store.Victim(b)
+	if !victim.Valid {
+		return
+	}
+	olda := victim.Block
+	ctrl := a.cfg.Topo.CtrlFor(olda)
+	if victim.Modified || victim.Exclusive {
+		// Case 3: EJECT(k,olda,"write") followed by put(b_k,olda).
+		// An Exclusive (Yen–Fu) frame takes this path even when clean: the
+		// directory pessimistically believes it modified, and a silent
+		// drop would leave a directed PURGE with no one to answer it.
+		a.stats.EvictionsDirty.Inc()
+		data := victim.Data
+		a.send(ctrl, msg.Message{Kind: msg.KindEject, Block: olda, Cache: a.cfg.Index, RW: msg.Write})
+		a.send(ctrl, msg.Message{Kind: msg.KindPut, Block: olda, Cache: a.cfg.Index, Data: data})
+	} else {
+		// Case 2: EJECT(k,olda,"read"), optional per the paper's note.
+		a.stats.EvictionsClean.Inc()
+		if !a.cfg.DisableCleanEject {
+			a.send(ctrl, msg.Message{Kind: msg.KindEject, Block: olda, Cache: a.cfg.Index, RW: msg.Read})
+		}
+	}
+	a.store.Evict(victim)
+}
+
+// Deliver implements network.Handler: reactions to controller commands.
+func (a *CacheAgent) Deliver(src network.NodeID, m msg.Message) {
+	switch m.Kind {
+	case msg.KindBroadInv, msg.KindInv:
+		a.handleInvalidate(m)
+	case msg.KindBroadQuery, msg.KindPurge:
+		a.handleQuery(src, m)
+	case msg.KindMGranted:
+		a.handleMGranted(m)
+	case msg.KindGet:
+		a.handleGet(m)
+	default:
+		panic(fmt.Sprintf("proto: cache %d: unexpected %v", a.cfg.Index, m))
+	}
+}
+
+func (a *CacheAgent) handleInvalidate(m msg.Message) {
+	a.stats.CommandsReceived.Inc()
+	if m.Kind == msg.KindBroadInv && m.Cache == a.cfg.Index {
+		// The exempted cache k; the network normally excludes us, so this
+		// is defensive (and free of side effects, per §3.2.4's rationale
+		// for the parameter k).
+		return
+	}
+	if f := a.store.Snoop(m.Block); f != nil {
+		a.store.Invalidate(m.Block)
+		a.stats.InvalidationsApplied.Inc()
+	} else {
+		a.stats.UselessCommands.Inc()
+	}
+	// §3.2.5: a BROADINV overtaking our MREQUEST acts as MGRANTED(·,false).
+	if a.pend != nil && a.pend.phase == pendAwaitMGrant && a.pend.ref.Block == m.Block {
+		a.stats.MRequestsConverted.Inc()
+		a.reissueAsWriteMiss()
+	}
+}
+
+func (a *CacheAgent) handleQuery(src network.NodeID, m msg.Message) {
+	a.stats.CommandsReceived.Inc()
+	f := a.store.Snoop(m.Block)
+	if f == nil {
+		a.stats.UselessCommands.Inc()
+		return
+	}
+	// Only the cache holding the block modified (or exclusively, under
+	// Yen–Fu grants, since the directory may believe it modified) responds.
+	if !f.Modified && !f.Exclusive {
+		return
+	}
+	a.stats.QueriesAnswered.Inc()
+	a.send(src, msg.Message{Kind: msg.KindPut, Block: m.Block, Cache: a.cfg.Index, Data: f.Data})
+	if m.RW == msg.Read {
+		// §3.2.2 case 2: reset the modified bit, keep the (now clean) copy.
+		f.Modified = false
+		f.Exclusive = false
+	} else {
+		// §3.2.3 case 3: reset the valid bit instead.
+		a.store.Invalidate(m.Block)
+	}
+}
+
+func (a *CacheAgent) handleMGranted(m msg.Message) {
+	if a.pend == nil || a.pend.phase != pendAwaitMGrant || a.pend.ref.Block != m.Block {
+		// Spurious: we already converted on a BROADINV (§3.2.5) or the
+		// denial crossed our retry. The conversion path has taken over; a
+		// positive grant must be refused so the controller does not record
+		// a phantom owner.
+		if m.Ok {
+			a.sendMAck(m.Block, false)
+		}
+		return
+	}
+	if !m.Ok {
+		a.stats.Retries.Inc()
+		a.reissueAsWriteMiss()
+		return
+	}
+	f := a.store.Lookup(m.Block)
+	if f == nil {
+		// Copy vanished without a BROADINV reaching us first; refuse the
+		// grant and retry as a write miss. (Cannot occur under per-pair
+		// FIFO delivery, kept as a defensive path.)
+		a.sendMAck(m.Block, false)
+		a.stats.Retries.Inc()
+		a.reissueAsWriteMiss()
+		return
+	}
+	f.Modified = true
+	f.Data = a.pend.writeVersion
+	a.commit(m.Block, a.pend.writeVersion)
+	a.sendMAck(m.Block, true)
+	a.finish(a.pend.writeVersion)
+}
+
+// sendMAck confirms (or refuses) an MGRANTED(k,true): the two-bit
+// controller commits the PresentM transition only on a positive
+// acknowledgement, which closes the phantom-owner race (an MREQUEST whose
+// sender was invalidated after the §3.2.5 queue deletion ran).
+func (a *CacheAgent) sendMAck(b addr.Block, ok bool) {
+	a.send(a.cfg.Topo.CtrlFor(b), msg.Message{
+		Kind: msg.KindMAck, Block: b, Cache: a.cfg.Index, Ok: ok,
+	})
+}
+
+// reissueAsWriteMiss converts a pending MREQUEST into a write REQUEST
+// (processor j's "next action" in the §3.2.5 scenario). Any local copy is
+// dropped first: on the denial path the invalidation may not have reached
+// us yet, and keeping the doomed copy while refilling would leave a stale
+// duplicate frame behind.
+func (a *CacheAgent) reissueAsWriteMiss() {
+	a.store.Invalidate(a.pend.ref.Block)
+	a.pend.phase = pendAwaitGet
+	a.send(a.cfg.Topo.CtrlFor(a.pend.ref.Block), msg.Message{
+		Kind: msg.KindRequest, Block: a.pend.ref.Block, Cache: a.cfg.Index, RW: msg.Write,
+	})
+}
+
+func (a *CacheAgent) handleGet(m msg.Message) {
+	if a.pend == nil || a.pend.phase != pendAwaitGet || a.pend.ref.Block != m.Block {
+		panic(fmt.Sprintf("proto: cache %d: unsolicited %v", a.cfg.Index, m))
+	}
+	// The frame freed at miss time is still free (only gets fill frames,
+	// and we have at most one outstanding reference), but run the
+	// replacement defensively in case a conflicting block was filled.
+	a.evictFor(m.Block)
+	victim := a.store.Victim(m.Block)
+	a.store.Fill(victim, m.Block, m.Data)
+	f := a.store.Lookup(m.Block)
+	if a.cfg.ExclusiveGrants && m.Ok && !a.pend.ref.Write {
+		f.Exclusive = true
+	}
+	if a.pend.ref.Write {
+		f.Modified = true
+		f.Data = a.pend.writeVersion
+		a.commit(m.Block, a.pend.writeVersion)
+		a.finish(a.pend.writeVersion)
+		return
+	}
+	a.finish(m.Data)
+}
+
+// finish completes the outstanding reference after the fill latency.
+func (a *CacheAgent) finish(v uint64) {
+	done := a.pend.done
+	a.pend = nil
+	a.kernel.After(a.cfg.Lat.CacheHit, func() { done(v) })
+}

@@ -1,0 +1,245 @@
+package proto
+
+import (
+	"testing"
+
+	"twobit/internal/addr"
+	"twobit/internal/cache"
+	"twobit/internal/msg"
+	"twobit/internal/network"
+	"twobit/internal/sim"
+)
+
+// fakeCtrl records everything the agent sends to the controller node and
+// lets tests reply by hand — isolating the cache-side FSM.
+type fakeCtrl struct {
+	got []msg.Message
+}
+
+func (f *fakeCtrl) Deliver(src network.NodeID, m msg.Message) { f.got = append(f.got, m) }
+
+type agentRig struct {
+	kernel *sim.Kernel
+	net    *network.Crossbar
+	agent  *CacheAgent
+	ctrl   *fakeCtrl
+	topo   Topology
+}
+
+func newAgentRig(t *testing.T, cfgMod func(*AgentConfig)) *agentRig {
+	t.Helper()
+	r := &agentRig{kernel: &sim.Kernel{}, topo: Topology{Caches: 2, Modules: 1}}
+	r.net = network.NewCrossbar(r.kernel, 1)
+	r.ctrl = &fakeCtrl{}
+	cfg := AgentConfig{Index: 0, Topo: r.topo, Lat: Latencies{CacheHit: 1, Memory: 5, CtrlService: 1}}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	store := cache.New(cache.Config{Sets: 4, Assoc: 1})
+	r.agent = NewCacheAgent(cfg, r.kernel, r.net, store)
+	// Attach the fake controller and the other cache slot.
+	r.net.Attach(r.topo.CtrlNode(0), r.ctrl)
+	r.net.Attach(r.topo.CacheNode(1), &fakeCtrl{})
+	return r
+}
+
+// toAgent injects a controller-originated message into the agent.
+func (r *agentRig) toAgent(m msg.Message) {
+	r.net.Send(r.topo.CtrlNode(0), r.topo.CacheNode(0), m)
+	r.kernel.Run()
+}
+
+func TestAgentReadMissSendsRequestAndFillsOnGet(t *testing.T) {
+	r := newAgentRig(t, nil)
+	var got uint64
+	done := false
+	r.agent.Access(addr.Ref{Block: 3}, 0, func(v uint64) { got = v; done = true })
+	r.kernel.Run()
+	if len(r.ctrl.got) != 1 || r.ctrl.got[0].Kind != msg.KindRequest || r.ctrl.got[0].RW != msg.Read {
+		t.Fatalf("sent %v, want a read REQUEST", r.ctrl.got)
+	}
+	if !r.agent.Busy() {
+		t.Fatal("agent not busy while awaiting get")
+	}
+	r.toAgent(msg.Message{Kind: msg.KindGet, Block: 3, Cache: 0, Data: 42})
+	if !done || got != 42 {
+		t.Fatalf("done=%v got=%d", done, got)
+	}
+	if r.agent.Busy() {
+		t.Fatal("agent busy after completion")
+	}
+}
+
+func TestAgentOverlappingAccessPanics(t *testing.T) {
+	r := newAgentRig(t, nil)
+	r.agent.Access(addr.Ref{Block: 3}, 0, func(uint64) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping Access did not panic")
+		}
+	}()
+	r.agent.Access(addr.Ref{Block: 4}, 0, func(uint64) {})
+}
+
+func TestAgentNilDonePanics(t *testing.T) {
+	r := newAgentRig(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil done did not panic")
+		}
+	}()
+	r.agent.Access(addr.Ref{Block: 3}, 0, nil)
+}
+
+func TestAgentSpuriousMGrantedFalseIgnored(t *testing.T) {
+	r := newAgentRig(t, nil)
+	// No pending MREQUEST at all: a stray denial must be a no-op.
+	r.toAgent(msg.Message{Kind: msg.KindMGranted, Block: 3, Cache: 0, Ok: false})
+	if len(r.ctrl.got) != 0 {
+		t.Fatalf("agent reacted to a stray denial: %v", r.ctrl.got)
+	}
+}
+
+func TestAgentSpuriousMGrantedTrueRefused(t *testing.T) {
+	r := newAgentRig(t, nil)
+	// A stray positive grant must be refused with MACK(false) so the
+	// controller can roll back the phantom PresentM.
+	r.toAgent(msg.Message{Kind: msg.KindMGranted, Block: 3, Cache: 0, Ok: true})
+	if len(r.ctrl.got) != 1 || r.ctrl.got[0].Kind != msg.KindMAck || r.ctrl.got[0].Ok {
+		t.Fatalf("want MACK(false), got %v", r.ctrl.got)
+	}
+}
+
+func TestAgentBroadInvExemptionByParameterK(t *testing.T) {
+	r := newAgentRig(t, nil)
+	// Load a copy of block 3.
+	r.agent.Access(addr.Ref{Block: 3}, 0, func(uint64) {})
+	r.kernel.Run()
+	r.toAgent(msg.Message{Kind: msg.KindGet, Block: 3, Cache: 0, Data: 7})
+	// A BROADINV naming this cache as the exempted k must not invalidate.
+	r.toAgent(msg.Message{Kind: msg.KindBroadInv, Block: 3, Cache: 0})
+	if r.agent.Store().Lookup(3) == nil {
+		t.Fatal("exempted cache invalidated its own block")
+	}
+	// One naming another cache must invalidate.
+	r.toAgent(msg.Message{Kind: msg.KindBroadInv, Block: 3, Cache: 1})
+	if r.agent.Store().Lookup(3) != nil {
+		t.Fatal("BROADINV did not invalidate")
+	}
+}
+
+func TestAgentQueryOnlyAnsweredByModifier(t *testing.T) {
+	r := newAgentRig(t, nil)
+	r.agent.Access(addr.Ref{Block: 3}, 0, func(uint64) {})
+	r.kernel.Run()
+	r.toAgent(msg.Message{Kind: msg.KindGet, Block: 3, Cache: 0, Data: 7})
+	r.ctrl.got = nil
+	// Clean copy: BROADQUERY must be ignored ("only cache i will respond").
+	r.toAgent(msg.Message{Kind: msg.KindBroadQuery, Block: 3, RW: msg.Read})
+	if len(r.ctrl.got) != 0 {
+		t.Fatalf("clean copy answered a query: %v", r.ctrl.got)
+	}
+	// Make it modified and query again: a put must come back and the
+	// modified bit must clear.
+	f := r.agent.Store().Lookup(3)
+	f.Modified = true
+	f.Data = 99
+	r.toAgent(msg.Message{Kind: msg.KindBroadQuery, Block: 3, RW: msg.Read})
+	if len(r.ctrl.got) != 1 || r.ctrl.got[0].Kind != msg.KindPut || r.ctrl.got[0].Data != 99 {
+		t.Fatalf("want put(v99), got %v", r.ctrl.got)
+	}
+	if f.Modified {
+		t.Fatal("read query did not reset the modified bit")
+	}
+	// A write query on the (now modified again) copy invalidates it.
+	f.Modified = true
+	r.ctrl.got = nil
+	r.toAgent(msg.Message{Kind: msg.KindBroadQuery, Block: 3, RW: msg.Write})
+	if r.agent.Store().Lookup(3) != nil {
+		t.Fatal("write query did not reset the valid bit")
+	}
+}
+
+func TestAgentUnsolicitedGetPanics(t *testing.T) {
+	r := newAgentRig(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsolicited get did not panic")
+		}
+	}()
+	r.toAgent(msg.Message{Kind: msg.KindGet, Block: 3, Cache: 0, Data: 1})
+}
+
+func TestAgentUnknownKindPanics(t *testing.T) {
+	r := newAgentRig(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	r.toAgent(msg.Message{Kind: msg.KindBusRead, Block: 3})
+}
+
+func TestAgentWriteHitModifiedIsPurelyLocal(t *testing.T) {
+	committed := []uint64{}
+	r := newAgentRig(t, func(c *AgentConfig) {
+		c.Commit = func(b addr.Block, v uint64) { committed = append(committed, v) }
+	})
+	// Fill via write miss.
+	var done1 bool
+	r.agent.Access(addr.Ref{Block: 3, Write: true}, 10, func(uint64) { done1 = true })
+	r.kernel.Run()
+	r.toAgent(msg.Message{Kind: msg.KindGet, Block: 3, Cache: 0, Data: 0})
+	if !done1 {
+		t.Fatal("write miss incomplete")
+	}
+	sends := len(r.ctrl.got)
+	// Write hit on modified: no controller traffic, immediate commit.
+	var done2 bool
+	r.agent.Access(addr.Ref{Block: 3, Write: true}, 11, func(uint64) { done2 = true })
+	r.kernel.Run()
+	if !done2 {
+		t.Fatal("write hit incomplete")
+	}
+	if len(r.ctrl.got) != sends {
+		t.Fatalf("write hit on modified sent traffic: %v", r.ctrl.got[sends:])
+	}
+	if len(committed) != 2 || committed[1] != 11 {
+		t.Fatalf("commits = %v", committed)
+	}
+}
+
+func TestAgentEvictionStatsSplitCleanDirty(t *testing.T) {
+	r := newAgentRig(t, nil)
+	fill := func(b addr.Block, write bool) {
+		var v uint64
+		if write {
+			v = uint64(b) + 100
+		}
+		r.agent.Access(addr.Ref{Block: b, Write: write}, v, func(uint64) {})
+		r.kernel.Run()
+		r.toAgent(msg.Message{Kind: msg.KindGet, Block: b, Cache: 0, Data: 0})
+	}
+	fill(0, false)  // set 0, clean
+	fill(4, false)  // evicts 0 (clean)
+	fill(8, true)   // evicts 4 (clean), fills modified
+	fill(12, false) // evicts 8 (dirty)
+	s := r.agent.SideStats()
+	if s.EvictionsClean.Value() != 2 || s.EvictionsDirty.Value() != 1 {
+		t.Fatalf("clean/dirty evictions = %d/%d, want 2/1",
+			s.EvictionsClean.Value(), s.EvictionsDirty.Value())
+	}
+	// The dirty eviction must have produced EJECT(write)+put.
+	var ejectW, puts int
+	for _, m := range r.ctrl.got {
+		switch {
+		case m.Kind == msg.KindEject && m.RW == msg.Write:
+			ejectW++
+		case m.Kind == msg.KindPut:
+			puts++
+		}
+	}
+	if ejectW != 1 || puts != 1 {
+		t.Fatalf("EJECT(write)/put = %d/%d, want 1/1", ejectW, puts)
+	}
+}

@@ -1,0 +1,202 @@
+package proto
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/msg"
+	"twobit/internal/network"
+)
+
+// ConcurrencyMode selects between the two controller designs of §3.2.5.
+type ConcurrencyMode uint8
+
+const (
+	// PerBlock lets the controller service commands for distinct blocks
+	// simultaneously, serializing only commands for the same block (the
+	// paper's "slightly more complex design").
+	PerBlock ConcurrencyMode = iota
+	// SingleCommand services one command at a time for the whole
+	// controller (the paper's "too stringent" option, kept for the
+	// performance ablation it invites).
+	SingleCommand
+)
+
+// String names the mode.
+func (m ConcurrencyMode) String() string {
+	switch m {
+	case PerBlock:
+		return "per-block"
+	case SingleCommand:
+		return "single-command"
+	}
+	return fmt.Sprintf("ConcurrencyMode(%d)", uint8(m))
+}
+
+// Pending is a command awaiting or undergoing service.
+type Pending struct {
+	Src network.NodeID
+	M   msg.Message
+}
+
+// StartFunc begins servicing a command. The implementation must call
+// Serializer.Done(block) exactly once when the transaction completes.
+type StartFunc func(p Pending)
+
+// Serializer is the controller's command queue: the bit-map controller of
+// §3.2.5 services one request per block (or one per controller) at a time,
+// queueing the rest, with the ability to delete queued entries — the
+// mechanism the paper uses to resolve racing MREQUESTs.
+type Serializer struct {
+	mode  ConcurrencyMode
+	start StartFunc
+
+	busy   map[addr.Block]bool
+	queues map[addr.Block][]Pending
+	global []Pending // SingleCommand queue
+	active int       // active transactions (0 or 1 in SingleCommand)
+
+	ready       []Pending
+	dispatching bool
+
+	queued int // total queued entries, for high-water accounting
+}
+
+// NewSerializer returns a serializer in the given mode. start must be
+// non-nil.
+func NewSerializer(mode ConcurrencyMode, start StartFunc) *Serializer {
+	if start == nil {
+		panic("proto: nil StartFunc")
+	}
+	return &Serializer{
+		mode:   mode,
+		start:  start,
+		busy:   make(map[addr.Block]bool),
+		queues: make(map[addr.Block][]Pending),
+	}
+}
+
+// QueuedLen returns the number of queued (not yet started) commands.
+func (s *Serializer) QueuedLen() int { return s.queued }
+
+// Active reports whether a transaction is in progress for block b.
+func (s *Serializer) Active(b addr.Block) bool {
+	if s.mode == SingleCommand {
+		return s.active > 0
+	}
+	return s.busy[b]
+}
+
+// ActiveCount returns the number of in-progress transactions.
+func (s *Serializer) ActiveCount() int { return s.active }
+
+// Submit offers a command for service: it starts immediately if its block
+// (or the controller, in SingleCommand mode) is free, otherwise it queues.
+func (s *Serializer) Submit(p Pending) {
+	if s.canRun(p.M.Block) {
+		s.admit(p)
+	} else {
+		s.enqueue(p)
+	}
+	s.dispatch()
+}
+
+func (s *Serializer) canRun(b addr.Block) bool {
+	if s.mode == SingleCommand {
+		return s.active == 0
+	}
+	return !s.busy[b]
+}
+
+func (s *Serializer) admit(p Pending) {
+	s.active++
+	s.busy[p.M.Block] = true
+	s.ready = append(s.ready, p)
+}
+
+func (s *Serializer) enqueue(p Pending) {
+	s.queued++
+	if s.mode == SingleCommand {
+		s.global = append(s.global, p)
+	} else {
+		s.queues[p.M.Block] = append(s.queues[p.M.Block], p)
+	}
+}
+
+// Done marks the transaction on block b complete and starts the next
+// eligible queued command, if any.
+func (s *Serializer) Done(b addr.Block) {
+	if !s.Active(b) {
+		panic(fmt.Sprintf("proto: Done(%v) without active transaction", b))
+	}
+	s.active--
+	delete(s.busy, b)
+	if s.mode == SingleCommand {
+		if len(s.global) > 0 {
+			p := s.global[0]
+			s.global = s.global[1:]
+			s.queued--
+			s.admit(p)
+		}
+	} else {
+		if q := s.queues[b]; len(q) > 0 {
+			p := q[0]
+			if len(q) == 1 {
+				delete(s.queues, b)
+			} else {
+				s.queues[b] = q[1:]
+			}
+			s.queued--
+			s.admit(p)
+		}
+	}
+	s.dispatch()
+}
+
+// DeleteQueued removes queued (not yet started) commands on block b for
+// which match returns true, returning how many were removed. This is the
+// §3.2.5 "Deletes MREQUEST(j,a) from the queue" operation.
+func (s *Serializer) DeleteQueued(b addr.Block, match func(Pending) bool) int {
+	filter := func(q []Pending) ([]Pending, int) {
+		kept := q[:0]
+		removed := 0
+		for _, p := range q {
+			if p.M.Block == b && match(p) {
+				removed++
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		return kept, removed
+	}
+	var removed int
+	if s.mode == SingleCommand {
+		s.global, removed = filter(s.global)
+	} else {
+		q, r := filter(s.queues[b])
+		removed = r
+		if len(q) == 0 {
+			delete(s.queues, b)
+		} else {
+			s.queues[b] = q
+		}
+	}
+	s.queued -= removed
+	return removed
+}
+
+// dispatch runs ready transactions iteratively, so a StartFunc that
+// completes synchronously (calling Done, which may ready more work) cannot
+// recurse arbitrarily deep.
+func (s *Serializer) dispatch() {
+	if s.dispatching {
+		return
+	}
+	s.dispatching = true
+	for len(s.ready) > 0 {
+		p := s.ready[0]
+		s.ready = s.ready[1:]
+		s.start(p)
+	}
+	s.dispatching = false
+}

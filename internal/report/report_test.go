@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGridRendering(t *testing.T) {
+	g := Grid{
+		Title:    "demo",
+		RowLabel: "w",
+		ColLabel: "n",
+		Rows:     []string{"0.1", "0.2"},
+		Cols:     []string{"4", "8"},
+		Cells:    [][]float64{{0.001, 0.02}, {0.3, 4.5}},
+	}
+	s := g.String()
+	for _, want := range []string{"demo", "n:", "w = 0.1", "0.001", "4.500"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("grid output missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("grid has %d lines, want 4", len(lines))
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	g := Grid{Rows: []string{"a"}, Cols: []string{"x"}, Cells: nil}
+	if err := g.Validate(); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+	g = Grid{Rows: []string{"a"}, Cols: []string{"x", "y"}, Cells: [][]float64{{1}}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("column mismatch accepted")
+	}
+	var sink strings.Builder
+	if err := g.Write(&sink); err == nil {
+		t.Fatal("Write did not surface validation error")
+	}
+}
+
+func TestPaperTableRendering(t *testing.T) {
+	pt := PaperTable{
+		Title:    "Table 4-1 reproduction",
+		Sections: []string{"case 1", "case 2"},
+		WValues:  []float64{0.1, 0.2},
+		NValues:  []int{4, 8},
+		Values: [][][]float64{
+			{{0.0, 0.005}, {0.002, 0.010}},
+			{{0.009, 0.055}, {0.015, 0.089}},
+		},
+	}
+	s := pt.String()
+	for _, want := range []string{"Table 4-1", "case 1:", "case 2:", "w = 0.1", "0.055"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("paper table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPaperTableSectionMismatch(t *testing.T) {
+	pt := PaperTable{Sections: []string{"a"}, Values: nil}
+	var sink strings.Builder
+	if err := pt.Write(&sink); err == nil {
+		t.Fatal("section mismatch accepted")
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	got := [][][]float64{{{1.5}}}
+	paper := [][][]float64{{{1.4}}}
+	s := SideBySide("cmp", []string{"case 1"}, []float64{0.1}, []int{4}, got, paper)
+	if !strings.Contains(s, "1.500 (1.400)") {
+		t.Fatalf("side-by-side missing comparison cell:\n%s", s)
+	}
+}

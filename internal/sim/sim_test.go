@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"twobit/internal/rng"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var k Kernel
+	var order []int
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(20, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order %v, want [1 2 3]", order)
+	}
+	if k.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", k.Now())
+	}
+}
+
+func TestTiesBreakBySchedulingOrder(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tied events ran as %v, want FIFO", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var k Kernel
+	var hits []Time
+	k.At(1, func() {
+		hits = append(hits, k.Now())
+		k.After(4, func() { hits = append(hits, k.Now()) })
+	})
+	k.Run()
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 5 {
+		t.Fatalf("hits = %v, want [1 5]", hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var k Kernel
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event did not panic")
+		}
+	}()
+	var k Kernel
+	k.At(0, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	ran := map[Time]bool{}
+	for _, tm := range []Time{1, 5, 10, 15} {
+		tm := tm
+		k.At(tm, func() { ran[tm] = true })
+	}
+	k.RunUntil(10)
+	if !ran[1] || !ran[5] || !ran[10] || ran[15] {
+		t.Fatalf("RunUntil(10) ran %v", ran)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if !ran[15] || k.Now() != 15 {
+		t.Fatalf("final run incomplete: ran=%v now=%d", ran, k.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	var k Kernel
+	count := 0
+	k.At(3, func() {
+		count++
+		k.After(3, func() { count++ })
+		k.After(30, func() { count++ })
+	})
+	k.RunFor(10)
+	if count != 2 {
+		t.Fatalf("count = %d after RunFor(10), want 2", count)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	var k Kernel
+	for i := 0; i < 25; i++ {
+		k.At(Time(i), func() {})
+	}
+	k.Run()
+	if k.Processed() != 25 {
+		t.Fatalf("Processed() = %d, want 25", k.Processed())
+	}
+}
+
+// Property: for any random schedule, events execute in nondecreasing time
+// order and the kernel drains completely.
+func TestPropertyOrdering(t *testing.T) {
+	r := rng.New(7, 1)
+	if err := quick.Check(func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		var k Kernel
+		var times []Time
+		for i := 0; i < n; i++ {
+			tm := Time(r.Intn(50))
+			k.At(tm, func() { times = append(times, k.Now()) })
+		}
+		k.Run()
+		if len(times) != n {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return k.Pending() == 0
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var k Kernel
+		for j := 0; j < 100; j++ {
+			k.At(Time(j%10), func() {})
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,228 @@
+// Package software implements the static, software-enforced solution of
+// §2.2: every memory block is tagged (at compile/link time, modeled by the
+// workload's Shared annotation) as private or public. Private blocks are
+// cached write-back as usual; public (writeable shared) blocks are never
+// loaded into any cache — "on a cache miss to a public block, no loading in
+// the cache takes place, and hence the public data is always up-to-date in
+// main memory". There is no coherence machinery at all; the cost is a full
+// memory round trip on every shared reference.
+package software
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/cache"
+	"twobit/internal/memory"
+	"twobit/internal/msg"
+	"twobit/internal/network"
+	"twobit/internal/proto"
+	"twobit/internal/sim"
+)
+
+// AgentConfig configures a software-scheme cache agent.
+type AgentConfig struct {
+	Index  int
+	Topo   proto.Topology
+	Lat    proto.Latencies
+	Commit proto.CommitFunc
+}
+
+// Agent caches private blocks write-back and bypasses the cache for shared
+// blocks.
+type Agent struct {
+	cfg    AgentConfig
+	kernel *sim.Kernel
+	net    network.Network
+	store  *cache.Cache
+	stats  proto.CacheSideStats
+
+	pend *pendingOp
+}
+
+type pendingOp struct {
+	ref     addr.Ref
+	version uint64
+	done    func(uint64)
+}
+
+// NewAgent wires the agent to the network.
+func NewAgent(cfg AgentConfig, kernel *sim.Kernel, net network.Network, store *cache.Cache) *Agent {
+	a := &Agent{cfg: cfg, kernel: kernel, net: net, store: store}
+	net.Attach(cfg.Topo.CacheNode(cfg.Index), a)
+	return a
+}
+
+// Store implements proto.CacheSide.
+func (a *Agent) Store() *cache.Cache { return a.store }
+
+// SideStats implements proto.CacheSide.
+func (a *Agent) SideStats() *proto.CacheSideStats { return &a.stats }
+
+func (a *Agent) node() network.NodeID { return a.cfg.Topo.CacheNode(a.cfg.Index) }
+
+// Access implements proto.CacheSide.
+func (a *Agent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)) {
+	if a.pend != nil {
+		panic(fmt.Sprintf("software: cache %d: overlapping references", a.cfg.Index))
+	}
+	a.stats.References.Inc()
+	if ref.Write {
+		a.stats.Writes.Inc()
+	} else {
+		a.stats.Reads.Inc()
+	}
+	ctrl := a.cfg.Topo.CtrlFor(ref.Block)
+	if ref.Shared {
+		// Public block: uncached, always served by memory.
+		a.pend = &pendingOp{ref: ref, version: writeVersion, done: done}
+		kind := msg.KindUncachedRead
+		if ref.Write {
+			kind = msg.KindUncachedWrite
+		}
+		a.net.Send(a.node(), ctrl, msg.Message{
+			Kind: kind, Block: ref.Block, Cache: a.cfg.Index, Data: writeVersion,
+		})
+		return
+	}
+	// Private block: ordinary uniprocessor write-back cache behavior.
+	if f := a.store.Access(ref.Block); f != nil {
+		if ref.Write {
+			f.Data = writeVersion
+			f.Modified = true
+			if a.cfg.Commit != nil {
+				a.cfg.Commit(ref.Block, writeVersion)
+			}
+			a.kernel.After(a.cfg.Lat.CacheHit, func() { done(writeVersion) })
+			return
+		}
+		v := f.Data
+		a.kernel.After(a.cfg.Lat.CacheHit, func() { done(v) })
+		return
+	}
+	a.evictFor(ref.Block)
+	a.pend = &pendingOp{ref: ref, version: writeVersion, done: done}
+	a.net.Send(a.node(), ctrl, msg.Message{
+		Kind: msg.KindRequest, Block: ref.Block, Cache: a.cfg.Index, RW: msg.Read,
+	})
+}
+
+func (a *Agent) evictFor(b addr.Block) {
+	victim := a.store.Victim(b)
+	if !victim.Valid {
+		return
+	}
+	old := victim.Block
+	if victim.Modified {
+		a.stats.EvictionsDirty.Inc()
+		ctrl := a.cfg.Topo.CtrlFor(old)
+		a.net.Send(a.node(), ctrl, msg.Message{Kind: msg.KindEject, Block: old, Cache: a.cfg.Index, RW: msg.Write})
+		a.net.Send(a.node(), ctrl, msg.Message{Kind: msg.KindPut, Block: old, Cache: a.cfg.Index, Data: victim.Data})
+	} else {
+		a.stats.EvictionsClean.Inc()
+	}
+	a.store.Evict(victim)
+}
+
+// Deliver implements network.Handler.
+func (a *Agent) Deliver(src network.NodeID, m msg.Message) {
+	if m.Kind != msg.KindGet {
+		panic(fmt.Sprintf("software: cache %d: unexpected %v", a.cfg.Index, m))
+	}
+	if a.pend == nil {
+		panic(fmt.Sprintf("software: cache %d: unsolicited %v", a.cfg.Index, m))
+	}
+	p := a.pend
+	a.pend = nil
+	if p.ref.Shared {
+		// Uncached completion; nothing enters the cache.
+		a.kernel.After(a.cfg.Lat.CacheHit, func() { p.done(m.Data) })
+		return
+	}
+	a.evictFor(p.ref.Block)
+	victim := a.store.Victim(p.ref.Block)
+	a.store.Fill(victim, p.ref.Block, m.Data)
+	if p.ref.Write {
+		f := a.store.Lookup(p.ref.Block)
+		f.Modified = true
+		f.Data = p.version
+		if a.cfg.Commit != nil {
+			a.cfg.Commit(p.ref.Block, p.version)
+		}
+		a.kernel.After(a.cfg.Lat.CacheHit, func() { p.done(p.version) })
+		return
+	}
+	a.kernel.After(a.cfg.Lat.CacheHit, func() { p.done(m.Data) })
+}
+
+// Config configures a software-scheme memory controller.
+type Config struct {
+	Module int
+	Topo   proto.Topology
+	Space  addr.Space
+	Lat    proto.Latencies
+	Commit proto.CommitFunc
+}
+
+// Controller serves uncached shared accesses and private fills/write-backs.
+// Shared writes linearize at the controller on arrival, which (commands
+// being processed atomically per delivery) keeps the scheme coherent
+// without any protocol.
+type Controller struct {
+	cfg    Config
+	kernel *sim.Kernel
+	net    network.Network
+	mem    *memory.Module
+	stats  proto.CtrlStats
+}
+
+// New wires the controller to the network.
+func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module) *Controller {
+	c := &Controller{cfg: cfg, kernel: kernel, net: net, mem: mem}
+	net.Attach(cfg.Topo.CtrlNode(cfg.Module), c)
+	return c
+}
+
+// CtrlStats implements proto.MemSide.
+func (c *Controller) CtrlStats() *proto.CtrlStats { return &c.stats }
+
+// MemVersion returns memory's version of b, for invariants.
+func (c *Controller) MemVersion(b addr.Block) uint64 { return c.mem.Read(b) }
+
+func (c *Controller) node() network.NodeID { return c.cfg.Topo.CtrlNode(c.cfg.Module) }
+
+func (c *Controller) reply(k int, b addr.Block, v uint64) {
+	c.kernel.After(c.cfg.Lat.Memory, func() {
+		c.net.Send(c.node(), c.cfg.Topo.CacheNode(k), msg.Message{
+			Kind: msg.KindGet, Block: b, Cache: k, Data: v,
+		})
+	})
+}
+
+// Deliver implements network.Handler.
+func (c *Controller) Deliver(src network.NodeID, m msg.Message) {
+	switch m.Kind {
+	case msg.KindUncachedRead:
+		c.stats.Requests.Inc()
+		c.stats.ReadMisses.Inc()
+		c.reply(m.Cache, m.Block, c.mem.Read(m.Block))
+	case msg.KindUncachedWrite:
+		c.stats.Requests.Inc()
+		c.stats.WriteMisses.Inc()
+		// Linearization point: the write is performed on arrival.
+		c.mem.Write(m.Block, m.Data)
+		if c.cfg.Commit != nil {
+			c.cfg.Commit(m.Block, m.Data)
+		}
+		c.reply(m.Cache, m.Block, m.Data)
+	case msg.KindRequest: // private fill
+		c.stats.Requests.Inc()
+		c.reply(m.Cache, m.Block, c.mem.Read(m.Block))
+	case msg.KindEject:
+		c.stats.Ejects.Inc() // data arrives in the following put
+	case msg.KindPut:
+		c.mem.Write(m.Block, m.Data)
+	default:
+		panic(fmt.Sprintf("software: controller %d: unexpected %v", c.cfg.Module, m))
+	}
+}

@@ -1,0 +1,207 @@
+// Package stats provides the small statistical toolkit the simulator and
+// the benchmark harness share: counters, running means/variances, simple
+// histograms, and normal-approximation confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter uint64
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { *c += Counter(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { *c++ }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 { return uint64(c) }
+
+// Per returns the count divided by denom, or 0 when denom is 0. It is the
+// workhorse for "commands per memory reference"-style metrics.
+func (c Counter) Per(denom uint64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return float64(c) / float64(denom)
+}
+
+// Running accumulates a stream of float64 samples with Welford's online
+// algorithm, giving mean and variance without storing the samples.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds one sample.
+func (r *Running) Observe(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of samples observed.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 with no samples).
+func (r *Running) Max() float64 { return r.max }
+
+// Variance returns the unbiased sample variance (0 with <2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// under a normal approximation (z = 1.96).
+func (r *Running) CI95() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return 1.96 * r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// String summarizes the accumulator, e.g. "n=10 mean=2.500 ±0.310".
+func (r *Running) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f ±%.3f", r.n, r.Mean(), r.CI95())
+}
+
+// Histogram buckets integer samples into fixed-width bins.
+type Histogram struct {
+	Width   uint64 // bin width; 0 is treated as 1
+	counts  []uint64
+	total   uint64
+	samples uint64
+}
+
+// Observe adds one sample value v.
+func (h *Histogram) Observe(v uint64) {
+	w := h.Width
+	if w == 0 {
+		w = 1
+	}
+	bin := int(v / w)
+	for bin >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[bin]++
+	h.total += v
+	h.samples++
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 { return h.samples }
+
+// Mean returns the mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h.samples == 0 {
+		return 0
+	}
+	return float64(h.total) / float64(h.samples)
+}
+
+// Quantile returns the smallest sample upper bound b such that at least
+// fraction q of samples fall in bins at or below b's bin. q outside (0,1]
+// is clamped.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.samples == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	w := h.Width
+	if w == 0 {
+		w = 1
+	}
+	need := uint64(math.Ceil(q * float64(h.samples)))
+	var cum uint64
+	for bin, c := range h.counts {
+		cum += c
+		if cum >= need {
+			return uint64(bin+1)*w - 1
+		}
+	}
+	return uint64(len(h.counts))*w - 1
+}
+
+// String renders a compact textual sketch of the histogram.
+func (h *Histogram) String() string {
+	if h.samples == 0 {
+		return "histogram: empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "histogram: n=%d mean=%.2f p50=%d p99=%d",
+		h.samples, h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+	return b.String()
+}
+
+// Summary computes basic statistics of a slice in one call, for tests and
+// reports that already hold all samples.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize returns a Summary of xs. An empty slice yields the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	var r Running
+	for _, x := range xs {
+		r.Observe(x)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	median := sorted[mid]
+	if len(sorted)%2 == 0 {
+		median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   r.Mean(),
+		StdDev: r.StdDev(),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: median,
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"twobit/internal/rng"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value() = %d, want 10", c.Value())
+	}
+	if got := c.Per(4); got != 2.5 {
+		t.Fatalf("Per(4) = %v, want 2.5", got)
+	}
+	if got := c.Per(0); got != 0 {
+		t.Fatalf("Per(0) = %v, want 0", got)
+	}
+}
+
+func TestRunningMeanVariance(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Observe(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	// Unbiased variance of that classic data set is 32/7.
+	if math.Abs(r.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.CI95() != 0 {
+		t.Fatal("empty Running not all-zero")
+	}
+	r.Observe(3)
+	if r.Mean() != 3 || r.Variance() != 0 {
+		t.Fatalf("single-sample stats wrong: mean=%v var=%v", r.Mean(), r.Variance())
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	p := rng.New(1, 1)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw)%50 + 2
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = p.Float64()*100 - 50
+			r.Observe(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		directVar := varSum / float64(n-1)
+		return math.Abs(r.Mean()-mean) < 1e-9 && math.Abs(r.Variance()-directVar) < 1e-6
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram{Width: 10}
+	for v := uint64(0); v < 100; v++ {
+		h.Observe(v)
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if math.Abs(h.Mean()-49.5) > 1e-9 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if q := h.Quantile(0.5); q < 40 || q > 59 {
+		t.Fatalf("median bucket bound %d outside [40,59]", q)
+	}
+	if q := h.Quantile(1.0); q < 90 {
+		t.Fatalf("p100 bound %d < 90", q)
+	}
+}
+
+func TestHistogramZeroWidthAndEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Observe(5)
+	if h.Quantile(1.0) != 5 {
+		t.Fatalf("width-0 (→1) quantile = %d, want 5", h.Quantile(1.0))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Median != 2.5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Fatalf("odd median = %v", odd.Median)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("nil summary = %+v", z)
+	}
+}
+
+func TestCI95ShrinksWithSamples(t *testing.T) {
+	p := rng.New(2, 2)
+	var small, large Running
+	for i := 0; i < 20; i++ {
+		small.Observe(p.Float64())
+	}
+	for i := 0; i < 2000; i++ {
+		large.Observe(p.Float64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: small=%v large=%v", small.CI95(), large.CI95())
+	}
+}

@@ -1,0 +1,122 @@
+package system
+
+import (
+	"fmt"
+
+	"twobit/internal/cache"
+	"twobit/internal/core"
+	"twobit/internal/fullmap"
+	"twobit/internal/memory"
+	"twobit/internal/proto"
+)
+
+// builderFor returns the builder implementing the given protocol.
+func builderFor(p Protocol) (builder, error) {
+	switch p {
+	case TwoBit:
+		return &twoBitBuilder{}, nil
+	case FullMap:
+		return &fullMapBuilder{}, nil
+	case FullMapExclusive:
+		return &fullMapBuilder{exclusive: true}, nil
+	case Classical:
+		return &classicalBuilder{}, nil
+	case Duplication:
+		return &duplicationBuilder{}, nil
+	case WriteOnce:
+		return &writeOnceBuilder{}, nil
+	case Software:
+		return &softwareBuilder{}, nil
+	}
+	return nil, fmt.Errorf("system: unknown protocol %v", p)
+}
+
+// directoryAgents builds the shared cache-side agents used by the two-bit
+// and full-map protocols.
+func directoryAgents(m *Machine, exclusive bool) ([]*proto.CacheAgent, []proto.CacheSide) {
+	agents := make([]*proto.CacheAgent, m.cfg.Procs)
+	sides := make([]proto.CacheSide, m.cfg.Procs)
+	for k := 0; k < m.cfg.Procs; k++ {
+		store := cache.New(m.cacheConfig(k))
+		agents[k] = proto.NewCacheAgent(proto.AgentConfig{
+			Index:             k,
+			Topo:              m.topo,
+			Lat:               m.cfg.Lat,
+			DisableCleanEject: m.cfg.DisableCleanEject,
+			ExclusiveGrants:   exclusive,
+			Commit:            m.commitHook(),
+		}, m.kernel, m.net, store)
+		sides[k] = agents[k]
+	}
+	return agents, sides
+}
+
+// twoBitBuilder assembles the paper's two-bit scheme.
+type twoBitBuilder struct {
+	ctrls []*core.Controller
+}
+
+func (b *twoBitBuilder) buildCaches(m *Machine) []proto.CacheSide {
+	_, sides := directoryAgents(m, false)
+	return sides
+}
+
+func (b *twoBitBuilder) buildCtrls(m *Machine) []proto.MemSide {
+	out := make([]proto.MemSide, m.cfg.Modules)
+	b.ctrls = make([]*core.Controller, m.cfg.Modules)
+	for j := 0; j < m.cfg.Modules; j++ {
+		mem := memory.NewModule(m.space, j, m.cfg.Lat.Memory)
+		c := core.New(core.Config{
+			Module:                j,
+			Topo:                  m.topo,
+			Space:                 m.space,
+			Lat:                   m.cfg.Lat,
+			Mode:                  m.cfg.Mode,
+			TranslationBufferSize: m.cfg.TranslationBufferSize,
+			Commit:                m.commitHook(),
+		}, m.kernel, m.net, mem)
+		b.ctrls[j] = c
+		out[j] = c
+	}
+	return out
+}
+
+func (b *twoBitBuilder) checkInvariants(m *Machine) error {
+	return checkTwoBitInvariants(m, b.ctrls)
+}
+
+// fullMapBuilder assembles the Censier–Feautrier baseline, optionally with
+// the Yen–Fu exclusive state.
+type fullMapBuilder struct {
+	exclusive bool
+	ctrls     []*fullmap.Controller
+}
+
+func (b *fullMapBuilder) buildCaches(m *Machine) []proto.CacheSide {
+	_, sides := directoryAgents(m, b.exclusive)
+	return sides
+}
+
+func (b *fullMapBuilder) buildCtrls(m *Machine) []proto.MemSide {
+	out := make([]proto.MemSide, m.cfg.Modules)
+	b.ctrls = make([]*fullmap.Controller, m.cfg.Modules)
+	for j := 0; j < m.cfg.Modules; j++ {
+		mem := memory.NewModule(m.space, j, m.cfg.Lat.Memory)
+		c := fullmap.New(fullmap.Config{
+			Module:         j,
+			Topo:           m.topo,
+			Space:          m.space,
+			Lat:            m.cfg.Lat,
+			Mode:           m.cfg.Mode,
+			LocalExclusive: b.exclusive,
+			Commit:         m.commitHook(),
+		}, m.kernel, m.net, mem)
+		b.ctrls[j] = c
+		out[j] = c
+	}
+	return out
+}
+
+func (b *fullMapBuilder) checkInvariants(m *Machine) error {
+	return checkFullMapInvariants(m, b.ctrls)
+}

@@ -1,0 +1,205 @@
+package system
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/cache"
+	"twobit/internal/classical"
+	"twobit/internal/duplication"
+	"twobit/internal/memory"
+	"twobit/internal/proto"
+	"twobit/internal/software"
+	"twobit/internal/writeonce"
+)
+
+// classicalBuilder assembles the §2.3 broadcast write-through machine.
+type classicalBuilder struct {
+	ctrls []*classical.Controller
+}
+
+func (b *classicalBuilder) buildCaches(m *Machine) []proto.CacheSide {
+	sides := make([]proto.CacheSide, m.cfg.Procs)
+	for k := 0; k < m.cfg.Procs; k++ {
+		store := cache.New(m.cacheConfig(k))
+		sides[k] = classical.NewAgent(classical.AgentConfig{
+			Index:      k,
+			Topo:       m.topo,
+			Lat:        m.cfg.Lat,
+			BiasFilter: m.cfg.DuplicateDirectory, // reuse the filter knob
+		}, m.kernel, m.net, store)
+	}
+	return sides
+}
+
+func (b *classicalBuilder) buildCtrls(m *Machine) []proto.MemSide {
+	out := make([]proto.MemSide, m.cfg.Modules)
+	b.ctrls = make([]*classical.Controller, m.cfg.Modules)
+	for j := 0; j < m.cfg.Modules; j++ {
+		mem := memory.NewModule(m.space, j, m.cfg.Lat.Memory)
+		c := classical.New(classical.Config{
+			Module: j,
+			Topo:   m.topo,
+			Space:  m.space,
+			Lat:    m.cfg.Lat,
+			Commit: m.commitHook(),
+		}, m.kernel, m.net, mem)
+		b.ctrls[j] = c
+		out[j] = c
+	}
+	return out
+}
+
+func (b *classicalBuilder) checkInvariants(m *Machine) error {
+	for j, c := range b.ctrls {
+		if !c.Quiescent() {
+			return fmt.Errorf("classical controller %d not quiescent", j)
+		}
+	}
+	memV := func(bl addr.Block) uint64 {
+		return b.ctrls[bl.Module(m.space.Modules)].MemVersion(bl)
+	}
+	return checkGenericInvariants(m, memV, func(bl addr.Block, copies []copyView) error {
+		for _, cv := range copies {
+			if cv.frame.Modified {
+				return fmt.Errorf("%v: write-through cache %d holds a dirty frame", bl, cv.cacheIdx)
+			}
+		}
+		return nil
+	})
+}
+
+// duplicationBuilder assembles Tang's central-controller machine.
+type duplicationBuilder struct {
+	ctrl *duplication.Controller
+}
+
+func (b *duplicationBuilder) buildCaches(m *Machine) []proto.CacheSide {
+	_, sides := directoryAgents(m, false)
+	return sides
+}
+
+func (b *duplicationBuilder) buildCtrls(m *Machine) []proto.MemSide {
+	if m.cfg.Modules != 1 {
+		panic("system: the duplication protocol centralizes everything; configure Modules = 1")
+	}
+	mem := memory.NewModule(m.space, 0, m.cfg.Lat.Memory)
+	b.ctrl = duplication.New(duplication.Config{
+		Topo:  m.topo,
+		Space: m.space,
+		Lat:   m.cfg.Lat,
+	}, m.kernel, m.net, mem)
+	return []proto.MemSide{b.ctrl}
+}
+
+func (b *duplicationBuilder) checkInvariants(m *Machine) error {
+	if !b.ctrl.Quiescent() {
+		return fmt.Errorf("duplication controller not quiescent")
+	}
+	return checkGenericInvariants(m, b.ctrl.MemVersion, func(bl addr.Block, copies []copyView) error {
+		holders := map[int]bool{}
+		for _, h := range b.ctrl.Holders(bl) {
+			holders[h] = true
+		}
+		for _, cv := range copies {
+			if !holders[cv.cacheIdx] {
+				return fmt.Errorf("%v: cache %d holds a copy the duplicate tags miss", bl, cv.cacheIdx)
+			}
+		}
+		if mb := b.ctrl.ModifiedBy(bl); mb >= 0 {
+			if len(copies) != 1 || copies[0].cacheIdx != mb {
+				return fmt.Errorf("%v: duplicate tags claim cache %d modified it; copies disagree", bl, mb)
+			}
+		}
+		return nil
+	})
+}
+
+// writeOnceBuilder assembles Goodman's bus machine.
+type writeOnceBuilder struct {
+	sys *writeonce.System
+}
+
+func (b *writeOnceBuilder) buildCaches(m *Machine) []proto.CacheSide {
+	bus, ok := unwrapBus(m.net)
+	if !ok {
+		panic("system: write-once requires the bus network")
+	}
+	b.sys = writeonce.NewSystem(writeonce.Config{
+		Topo:   m.topo,
+		Space:  m.space,
+		Lat:    m.cfg.Lat,
+		Commit: m.commitHook(),
+	}, m.kernel, bus)
+	sides := make([]proto.CacheSide, m.cfg.Procs)
+	for k := 0; k < m.cfg.Procs; k++ {
+		sides[k] = writeonce.NewAgent(b.sys, k, cache.New(m.cacheConfig(k)))
+	}
+	return sides
+}
+
+func (b *writeOnceBuilder) buildCtrls(m *Machine) []proto.MemSide {
+	return []proto.MemSide{b.sys}
+}
+
+func (b *writeOnceBuilder) checkInvariants(m *Machine) error {
+	return checkGenericInvariants(m, b.sys.MemVersion, func(bl addr.Block, copies []copyView) error {
+		reserved := 0
+		for _, cv := range copies {
+			if cv.frame.Exclusive && !cv.frame.Modified {
+				reserved++
+			}
+		}
+		if reserved > 1 {
+			return fmt.Errorf("%v: %d Reserved copies", bl, reserved)
+		}
+		if reserved == 1 && len(copies) != 1 {
+			return fmt.Errorf("%v: Reserved copy coexists with %d others", bl, len(copies)-1)
+		}
+		return nil
+	})
+}
+
+// softwareBuilder assembles the §2.2 static machine.
+type softwareBuilder struct {
+	ctrls []*software.Controller
+}
+
+func (b *softwareBuilder) buildCaches(m *Machine) []proto.CacheSide {
+	sides := make([]proto.CacheSide, m.cfg.Procs)
+	for k := 0; k < m.cfg.Procs; k++ {
+		store := cache.New(m.cacheConfig(k))
+		sides[k] = software.NewAgent(software.AgentConfig{
+			Index:  k,
+			Topo:   m.topo,
+			Lat:    m.cfg.Lat,
+			Commit: m.commitHook(),
+		}, m.kernel, m.net, store)
+	}
+	return sides
+}
+
+func (b *softwareBuilder) buildCtrls(m *Machine) []proto.MemSide {
+	out := make([]proto.MemSide, m.cfg.Modules)
+	b.ctrls = make([]*software.Controller, m.cfg.Modules)
+	for j := 0; j < m.cfg.Modules; j++ {
+		mem := memory.NewModule(m.space, j, m.cfg.Lat.Memory)
+		c := software.New(software.Config{
+			Module: j,
+			Topo:   m.topo,
+			Space:  m.space,
+			Lat:    m.cfg.Lat,
+			Commit: m.commitHook(),
+		}, m.kernel, m.net, mem)
+		b.ctrls[j] = c
+		out[j] = c
+	}
+	return out
+}
+
+func (b *softwareBuilder) checkInvariants(m *Machine) error {
+	memV := func(bl addr.Block) uint64 {
+		return b.ctrls[bl.Module(m.space.Modules)].MemVersion(bl)
+	}
+	return checkGenericInvariants(m, memV, nil)
+}

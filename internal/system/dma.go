@@ -1,0 +1,121 @@
+package system
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/msg"
+	"twobit/internal/network"
+	"twobit/internal/rng"
+)
+
+// DMAConfig adds uncached I/O devices to a machine — the concern §2.2
+// raises ("I/O handling in the case of a write-back policy raises also
+// some difficulties") and §2.3 alludes to (the invalidation logic "may
+// already be present for I/O concurrency purposes"). Each device issues
+// blocking uncached reads and writes to a range of blocks; the directory
+// controllers drain or invalidate cached copies so that device reads see
+// the most recent value and device writes are never overwritten by stale
+// write-backs. Supported by the TwoBit and FullMap(+E) protocols.
+type DMAConfig struct {
+	Devices   int     // number of DMA devices
+	Blocks    int     // devices touch blocks [0, Blocks); 0 = whole space
+	WriteFrac float64 // probability a device operation is a write
+}
+
+// Validate reports configuration errors.
+func (c DMAConfig) Validate() error {
+	if c.Devices < 0 {
+		return fmt.Errorf("system: negative DMA device count %d", c.Devices)
+	}
+	if c.Blocks < 0 {
+		return fmt.Errorf("system: negative DMA block range %d", c.Blocks)
+	}
+	if c.WriteFrac < 0 || c.WriteFrac > 1 {
+		return fmt.Errorf("system: DMA WriteFrac %v outside [0,1]", c.WriteFrac)
+	}
+	return nil
+}
+
+// dmaDevice is one uncached I/O device: it issues one blocking operation
+// at a time, like the processors.
+type dmaDevice struct {
+	m      *Machine
+	idx    int // device index
+	node   network.NodeID
+	random *rng.PCG
+
+	pend func(data uint64)
+}
+
+func newDMADevice(m *Machine, idx int) *dmaDevice {
+	d := &dmaDevice{
+		m:      m,
+		idx:    idx,
+		node:   m.topo.DMANode(idx),
+		random: rng.New(m.cfg.Seed^0xD3A, uint64(idx)+1000),
+	}
+	m.net.Attach(d.node, d)
+	return d
+}
+
+// oracleProc returns the device's processor id for oracle bookkeeping
+// (devices observe the same coherence rules as processors).
+func (d *dmaDevice) oracleProc() int { return d.m.cfg.Procs + d.idx }
+
+// Deliver implements network.Handler: completion replies, plus silently
+// ignoring any broadcast copies that reach the device.
+func (d *dmaDevice) Deliver(src network.NodeID, m msg.Message) {
+	if m.Kind != msg.KindGet {
+		return // stray broadcast copy; devices do not participate
+	}
+	if d.pend == nil {
+		panic(fmt.Sprintf("system: DMA device %d: unsolicited %v", d.idx, m))
+	}
+	done := d.pend
+	d.pend = nil
+	done(m.Data)
+}
+
+// issue chains the device's operations, mirroring Machine.issue.
+func (d *dmaDevice) issue(remaining int) {
+	m := d.m
+	blocks := m.cfg.DMA.Blocks
+	if blocks <= 0 || blocks > m.space.Blocks {
+		blocks = m.space.Blocks
+	}
+	block := addr.Block(d.random.Intn(blocks))
+	write := d.random.Bool(m.cfg.DMA.WriteFrac)
+	var version uint64
+	kind := msg.KindUncachedRead
+	if write {
+		m.nextVersion++
+		version = m.nextVersion
+		kind = msg.KindUncachedWrite
+	}
+	var issueLatest uint64
+	if m.oracle != nil {
+		issueLatest = m.oracle.Latest(block)
+	}
+	d.pend = func(got uint64) {
+		if m.oracle != nil {
+			var err error
+			if write {
+				err = m.oracle.NoteWrite(d.oracleProc(), block, version)
+			} else {
+				err = m.oracle.CheckLoad(d.oracleProc(), block, issueLatest, got, m.strict)
+			}
+			if err != nil {
+				m.errs = append(m.errs, fmt.Errorf("dma %d: %w", d.idx, err))
+			}
+		}
+		if remaining > 1 {
+			d.issue(remaining - 1)
+		} else {
+			m.completed++
+		}
+	}
+	m.net.Send(d.node, m.topo.CtrlFor(block), msg.Message{
+		Kind: kind, Block: block, Cache: -1, Data: version,
+	})
+}

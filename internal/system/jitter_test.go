@@ -1,0 +1,80 @@
+package system
+
+import (
+	"testing"
+
+	"twobit/internal/sim"
+	"twobit/internal/workload"
+)
+
+// TestJitterStressAllProtocols drives every protocol through a crossbar
+// whose per-message delay varies randomly (per-pair FIFO preserved). This
+// is the harshest reordering environment the simulator offers: races that
+// depend on cross-pair message ordering (stale MREQUESTs, eviction vs
+// query, conversion timing) all open wider. The coherence oracle and
+// invariants must still hold everywhere.
+func TestJitterStressAllProtocols(t *testing.T) {
+	for name, cfg := range allProtocols() {
+		if cfg.Net != CrossbarNet {
+			continue // jitter applies to the crossbar
+		}
+		for _, jitter := range []sim.Time{3, 10, 40} {
+			cfg := cfg
+			cfg.NetJitter = jitter
+			cfg.CacheSets = 8
+			cfg.CacheAssoc = 1
+			gen := workload.NewSharedPrivate(workload.SharedPrivateConfig{
+				Procs: cfg.Procs, SharedBlocks: 8, Q: 0.4, W: 0.5,
+				PrivateHit: 0.8, PrivateWrite: 0.4, HotBlocks: 8, ColdBlocks: 16,
+				Seed: uint64(jitter) * 7,
+			})
+			m, err := New(cfg, gen)
+			if err != nil {
+				t.Fatalf("%s jitter=%d: %v", name, jitter, err)
+			}
+			if _, err := m.Run(2500); err != nil {
+				t.Fatalf("%s jitter=%d: %v", name, jitter, err)
+			}
+		}
+	}
+}
+
+// TestJitterManySeeds hammers the two-bit protocol specifically: the
+// scheme with the most implicit ordering assumptions.
+func TestJitterManySeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		cfg := DefaultConfig(TwoBit, 8)
+		cfg.NetJitter = 12
+		cfg.Seed = seed
+		cfg.CacheSets = 8
+		cfg.CacheAssoc = 1
+		gen := workload.NewSharedPrivate(workload.SharedPrivateConfig{
+			Procs: 8, SharedBlocks: 8, Q: 0.5, W: 0.5,
+			PrivateHit: 0.8, PrivateWrite: 0.5, HotBlocks: 4, ColdBlocks: 16, Seed: seed * 23,
+		})
+		m, err := New(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(2500); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestJitterLockContention combines jitter with the MREQUEST-storm
+// workload — the §3.2.5 race under maximal reordering.
+func TestJitterLockContention(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		cfg := DefaultConfig(TwoBit, 8)
+		cfg.NetJitter = 20
+		cfg.Seed = seed
+		m, err := New(cfg, workload.NewLockContention(8, 3, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(2000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

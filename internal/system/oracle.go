@@ -1,0 +1,120 @@
+package system
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+)
+
+// Oracle checks the paper's coherence definition — "a read access to any
+// block always returns the most recently written value of that block" —
+// at two strictness levels.
+//
+// The base check is *coherence*: every store produces a globally unique
+// version, the protocols call Commit at the instant a store's value
+// becomes the block's current value (so commits define a per-block total
+// write order), every load must observe a committed version, and each
+// processor must observe a block's versions in non-decreasing commit
+// order — never an older value after a newer one, and never older than
+// its own last write. This is precisely what the 1984 protocol
+// guarantees.
+//
+// The strict check adds *linearizability*: a load must observe the version
+// that was current at its issue, or one committed later. The protocol
+// attains this only when invalidations and grants arrive in step — the
+// controller sends MGRANTED as soon as the BROADINV broadcast leaves, so
+// under a network with variable per-message delay (the Omega model) a
+// remote cache may briefly read its stale copy after the writer proceeded.
+// The machine therefore enables the strict check only on uniform-latency
+// networks (crossbar, bus). See DESIGN.md §6.
+type Oracle struct {
+	seq      uint64
+	seqs     map[addr.Block]map[uint64]uint64 // block → version → commit sequence
+	latest   map[addr.Block]uint64
+	lastSeen map[procBlock]uint64 // per (proc, block): last observed commit seq
+}
+
+type procBlock struct {
+	proc  int
+	block addr.Block
+}
+
+// NewOracle returns an empty oracle. Version 0 denotes a block's initial
+// memory contents and is implicitly committed with sequence 0.
+func NewOracle() *Oracle {
+	return &Oracle{
+		seqs:     make(map[addr.Block]map[uint64]uint64),
+		latest:   make(map[addr.Block]uint64),
+		lastSeen: make(map[procBlock]uint64),
+	}
+}
+
+// Commit records that version v became current for block b.
+func (o *Oracle) Commit(b addr.Block, v uint64) {
+	o.seq++
+	m := o.seqs[b]
+	if m == nil {
+		m = make(map[uint64]uint64)
+		o.seqs[b] = m
+	}
+	if _, dup := m[v]; dup {
+		panic(fmt.Sprintf("oracle: version %d committed twice for %v", v, b))
+	}
+	m[v] = o.seq
+	o.latest[b] = v
+}
+
+// Latest returns the last committed version for b (0 if never written).
+func (o *Oracle) Latest(b addr.Block) uint64 { return o.latest[b] }
+
+// Commits returns the total number of commits observed.
+func (o *Oracle) Commits() uint64 { return o.seq }
+
+func (o *Oracle) seqOf(b addr.Block, v uint64) (uint64, bool) {
+	if v == 0 {
+		return 0, true
+	}
+	s, ok := o.seqs[b][v]
+	return s, ok
+}
+
+// NoteWrite records, at a store's completion, that proc has observed its
+// own write (subsequent loads must not see anything older).
+func (o *Oracle) NoteWrite(proc int, b addr.Block, v uint64) error {
+	s, ok := o.seqOf(b, v)
+	if !ok {
+		return fmt.Errorf("oracle: proc %d's store of version %d to %v completed without committing", proc, v, b)
+	}
+	key := procBlock{proc, b}
+	if s > o.lastSeen[key] {
+		o.lastSeen[key] = s
+	}
+	return nil
+}
+
+// CheckLoad validates a completed load of block b by proc that observed
+// version got. issueLatest is Latest(b) snapshotted at issue; it is
+// consulted only when strict is true.
+func (o *Oracle) CheckLoad(proc int, b addr.Block, issueLatest, got uint64, strict bool) error {
+	gs, ok := o.seqOf(b, got)
+	if !ok {
+		return fmt.Errorf("oracle: load of %v observed uncommitted version %d", b, got)
+	}
+	key := procBlock{proc, b}
+	if prev := o.lastSeen[key]; gs < prev {
+		return fmt.Errorf("oracle: coherence violation on %v: proc %d observed version %d (commit #%d) after already observing commit #%d",
+			b, proc, got, gs, prev)
+	}
+	o.lastSeen[key] = gs
+	if strict {
+		is, ok := o.seqOf(b, issueLatest)
+		if !ok {
+			return fmt.Errorf("oracle: internal error: issue version %d unknown for %v", issueLatest, b)
+		}
+		if gs < is {
+			return fmt.Errorf("oracle: stale load of %v: observed version %d (commit #%d) but version %d (commit #%d) was already current at issue",
+				b, got, gs, issueLatest, is)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+// Package system assembles complete simulated multiprocessors in the
+// organization of Figure 3-1 — n processor-cache pairs and m memory
+// controller/module pairs joined by an interconnection network — runs
+// workloads through them, verifies coherence with a linearizability
+// oracle and protocol-specific invariant checks, and reports the paper's
+// metrics (commands received per memory reference, useless commands,
+// stolen cache cycles, broadcast counts, network traffic).
+package system
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"twobit/internal/addr"
+	"twobit/internal/cache"
+	"twobit/internal/network"
+	"twobit/internal/proto"
+	"twobit/internal/sim"
+	"twobit/internal/stats"
+	"twobit/internal/workload"
+)
+
+// Protocol selects the coherence scheme a machine runs.
+type Protocol uint8
+
+const (
+	// TwoBit is the paper's contribution (§3): the two-bit global directory
+	// with broadcast BROADINV/BROADQUERY.
+	TwoBit Protocol = iota
+	// FullMap is the Censier–Feautrier n+1-bit directory (§2.4.2).
+	FullMap
+	// FullMapExclusive is FullMap plus the Yen–Fu local state (§2.4.3).
+	FullMapExclusive
+	// Classical is the broadcast write-through scheme (§2.3).
+	Classical
+	// Duplication is Tang's central cache-directory duplication (§2.4.1).
+	Duplication
+	// WriteOnce is Goodman's bus scheme (§2.5); it forces NetKind Bus.
+	WriteOnce
+	// Software is the static scheme (§2.2): shared blocks are not cached.
+	Software
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case TwoBit:
+		return "two-bit"
+	case FullMap:
+		return "full-map"
+	case FullMapExclusive:
+		return "full-map+E"
+	case Classical:
+		return "classical"
+	case Duplication:
+		return "duplication"
+	case WriteOnce:
+		return "write-once"
+	case Software:
+		return "software"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// NetKind selects the interconnection network.
+type NetKind uint8
+
+const (
+	// CrossbarNet is the ideal point-to-point network.
+	CrossbarNet NetKind = iota
+	// BusNet is the single shared snooping bus.
+	BusNet
+	// OmegaNet is the blocking multistage network.
+	OmegaNet
+)
+
+// String names the network kind.
+func (k NetKind) String() string {
+	switch k {
+	case CrossbarNet:
+		return "crossbar"
+	case BusNet:
+		return "bus"
+	case OmegaNet:
+		return "omega"
+	}
+	return fmt.Sprintf("NetKind(%d)", uint8(k))
+}
+
+// Config describes a machine.
+type Config struct {
+	Protocol Protocol
+	Procs    int // n: processor-cache pairs
+	Modules  int // memory modules (with one controller each)
+
+	CacheSets   int
+	CacheAssoc  int
+	CachePolicy cache.ReplacementPolicy
+	// DuplicateDirectory enables the §4.4 parallel-controller enhancement
+	// at every cache.
+	DuplicateDirectory bool
+
+	Net        NetKind
+	NetLatency sim.Time // crossbar latency / omega hop time
+	NetJitter  sim.Time // max random extra delay per message (CrossbarNet only)
+	BusCycle   sim.Time // bus occupancy per transaction (BusNet only)
+
+	Lat  proto.Latencies
+	Mode proto.ConcurrencyMode
+
+	// TranslationBufferSize enables the §4.4 owner cache (TwoBit only).
+	TranslationBufferSize int
+	// DisableCleanEject drops EJECT(·,·,"read"), the paper's optional part
+	// of the replacement protocol.
+	DisableCleanEject bool
+
+	// DMA adds uncached I/O devices (TwoBit and FullMap protocols only).
+	DMA DMAConfig
+
+	Seed uint64
+	// Oracle enables the linearizability checker (small time overhead).
+	Oracle bool
+	// TraceWriter, when non-nil, receives a log of every network message —
+	// a protocol debugging aid.
+	TraceWriter io.Writer
+}
+
+// DefaultConfig returns a ready-to-run configuration for n processors.
+func DefaultConfig(protocol Protocol, procs int) Config {
+	return Config{
+		Protocol:   protocol,
+		Procs:      procs,
+		Modules:    4,
+		CacheSets:  32,
+		CacheAssoc: 4,
+		Net:        CrossbarNet,
+		NetLatency: 4,
+		BusCycle:   4,
+		Lat:        proto.DefaultLatencies(),
+		Mode:       proto.PerBlock,
+		Seed:       1,
+		Oracle:     true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("system: Procs must be ≥ 1, got %d", c.Procs)
+	}
+	if c.Procs > 64 {
+		return fmt.Errorf("system: Procs must be ≤ 64 (directory word width), got %d", c.Procs)
+	}
+	if c.Modules < 1 {
+		return fmt.Errorf("system: Modules must be ≥ 1, got %d", c.Modules)
+	}
+	if c.CacheSets < 1 || c.CacheAssoc < 1 {
+		return fmt.Errorf("system: cache geometry %dx%d invalid", c.CacheSets, c.CacheAssoc)
+	}
+	if c.Protocol == WriteOnce && c.Net != BusNet {
+		return errors.New("system: the write-once protocol requires the bus network")
+	}
+	if c.Protocol == Duplication && c.Modules != 1 {
+		return errors.New("system: the duplication protocol is centralized; set Modules = 1")
+	}
+	if c.TranslationBufferSize > 0 && c.Protocol != TwoBit {
+		return errors.New("system: translation buffer applies to the two-bit protocol only")
+	}
+	if err := c.DMA.Validate(); err != nil {
+		return err
+	}
+	if c.DMA.Devices > 0 {
+		switch c.Protocol {
+		case TwoBit, FullMap, FullMapExclusive:
+		default:
+			return fmt.Errorf("system: DMA devices are supported by the directory protocols, not %v", c.Protocol)
+		}
+	}
+	return nil
+}
+
+// builder constructs a protocol's cache and controller sides. Each
+// protocol package is adapted by one builder in builders.go.
+type builder interface {
+	// buildCaches constructs all cache sides (attached to the network).
+	buildCaches(m *Machine) []proto.CacheSide
+	// buildCtrls constructs all memory controllers (attached).
+	buildCtrls(m *Machine) []proto.MemSide
+	// checkInvariants verifies protocol-specific global invariants at
+	// quiescence.
+	checkInvariants(m *Machine) error
+}
+
+// Machine is an assembled multiprocessor.
+type Machine struct {
+	cfg    Config
+	gen    workload.Generator
+	kernel *sim.Kernel
+	net    network.Network
+	topo   proto.Topology
+	space  addr.Space
+	bld    builder
+
+	caches []proto.CacheSide
+	ctrls  []proto.MemSide
+	dmas   []*dmaDevice
+	oracle *Oracle
+	strict bool // strict (linearizability) oracle mode; see Oracle
+
+	nextVersion uint64
+	completed   int
+	issuedRefs  uint64
+	errs        []error
+
+	latencies       stats.Histogram // per-reference latency, cycles
+	sharedLatencies stats.Histogram // latency of shared references only
+}
+
+// New assembles a machine for cfg running gen. The address space is sized
+// from the generator.
+func New(cfg Config, gen workload.Generator) (*Machine, error) {
+	return newMachine(cfg, gen, nil)
+}
+
+// newMachine is New with an optional network override, used by the
+// model-checking tests to substitute a delivery-choice network.
+func newMachine(cfg Config, gen workload.Generator, netFactory func(*sim.Kernel) network.Network) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	blocks := gen.Blocks()
+	if blocks < 1 {
+		return nil, fmt.Errorf("system: generator spans %d blocks", blocks)
+	}
+	m := &Machine{
+		cfg:    cfg,
+		gen:    gen,
+		kernel: &sim.Kernel{},
+		topo:   proto.Topology{Caches: cfg.Procs, Modules: cfg.Modules, DMA: cfg.DMA.Devices},
+		space:  addr.Space{Blocks: blocks, Modules: cfg.Modules},
+	}
+	switch {
+	case netFactory != nil:
+		m.net = netFactory(m.kernel)
+	case cfg.Net == BusNet:
+		m.net = network.NewBus(m.kernel, cfg.BusCycle, cfg.NetLatency)
+	case cfg.Net == OmegaNet:
+		m.net = network.NewOmega(m.kernel, m.topo.Nodes(), maxTime(1, cfg.NetLatency))
+	default:
+		m.net = network.NewJitterCrossbar(m.kernel, cfg.NetLatency, cfg.NetJitter, cfg.Seed^0xA5A5)
+	}
+	if cfg.TraceWriter != nil {
+		m.net = &traceNet{inner: m.net, m: m, w: cfg.TraceWriter}
+	}
+	if cfg.Oracle {
+		m.oracle = NewOracle()
+		// Strict linearizability holds only when invalidations and grants
+		// travel with equal delay; the blocking Omega network and the
+		// jittered crossbar do not guarantee that, so they get the (still
+		// paper-exact) coherence check. See the Oracle doc.
+		m.strict = cfg.Net != OmegaNet && cfg.NetJitter == 0
+	}
+	bld, err := builderFor(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	m.bld = bld
+	m.caches = bld.buildCaches(m)
+	m.ctrls = bld.buildCtrls(m)
+	for d := 0; d < cfg.DMA.Devices; d++ {
+		m.dmas = append(m.dmas, newDMADevice(m, d))
+	}
+	return m, nil
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Kernel exposes the machine's clock (read-only use intended).
+func (m *Machine) Kernel() *sim.Kernel { return m.kernel }
+
+// Network exposes the interconnection network's statistics.
+func (m *Machine) Network() network.Network { return m.net }
+
+// Oracle returns the linearizability oracle, or nil when disabled.
+func (m *Machine) Oracle() *Oracle { return m.oracle }
+
+// CacheSide returns cache k's protocol agent.
+func (m *Machine) CacheSide(k int) proto.CacheSide { return m.caches[k] }
+
+// commitHook returns the oracle hook (nil when the oracle is off).
+func (m *Machine) commitHook() proto.CommitFunc {
+	if m.oracle == nil {
+		return nil
+	}
+	return m.oracle.Commit
+}
+
+// cacheConfig builds the cache geometry for cache k.
+func (m *Machine) cacheConfig(k int) cache.Config {
+	return cache.Config{
+		Sets:               m.cfg.CacheSets,
+		Assoc:              m.cfg.CacheAssoc,
+		Policy:             m.cfg.CachePolicy,
+		DuplicateDirectory: m.cfg.DuplicateDirectory,
+		Seed:               m.cfg.Seed ^ uint64(k)<<32,
+	}
+}
+
+// Run drives every processor through refsPerProc references and returns
+// the aggregated results. It returns an error if the simulation deadlocks,
+// a load violates coherence, or a protocol invariant fails at quiescence.
+func (m *Machine) Run(refsPerProc int) (Results, error) {
+	if refsPerProc < 1 {
+		return Results{}, fmt.Errorf("system: refsPerProc must be ≥ 1, got %d", refsPerProc)
+	}
+	for p := 0; p < m.cfg.Procs; p++ {
+		m.issue(p, refsPerProc)
+	}
+	for _, d := range m.dmas {
+		d.issue(refsPerProc)
+	}
+	want := m.cfg.Procs + len(m.dmas)
+	m.kernel.Run()
+	if m.completed != want {
+		return Results{}, fmt.Errorf("system: deadlock: %d of %d processors/devices finished after %d events",
+			m.completed, want, m.kernel.Processed())
+	}
+	if len(m.errs) > 0 {
+		return Results{}, fmt.Errorf("system: %d coherence violations, first: %w", len(m.errs), m.errs[0])
+	}
+	if err := m.bld.checkInvariants(m); err != nil {
+		return Results{}, fmt.Errorf("system: invariant violation at quiescence: %w", err)
+	}
+	return m.collect(refsPerProc), nil
+}
+
+// issue chains one processor's references: each new reference is issued
+// when the previous one completes.
+func (m *Machine) issue(p, remaining int) {
+	ref := m.gen.Next(p)
+	if int(ref.Block) >= m.space.Blocks {
+		panic(fmt.Sprintf("system: generator produced %v beyond space of %d blocks", ref.Block, m.space.Blocks))
+	}
+	m.issuedRefs++
+	var version uint64
+	if ref.Write {
+		m.nextVersion++
+		version = m.nextVersion
+	}
+	var issueLatest uint64
+	if m.oracle != nil {
+		issueLatest = m.oracle.Latest(ref.Block)
+	}
+	issuedAt := m.kernel.Now()
+	m.caches[p].Access(ref, version, func(got uint64) {
+		lat := uint64(m.kernel.Now() - issuedAt)
+		m.latencies.Observe(lat)
+		if ref.Shared {
+			m.sharedLatencies.Observe(lat)
+		}
+		if m.oracle != nil {
+			var err error
+			if ref.Write {
+				err = m.oracle.NoteWrite(p, ref.Block, version)
+			} else {
+				err = m.oracle.CheckLoad(p, ref.Block, issueLatest, got, m.strict)
+			}
+			if err != nil {
+				m.errs = append(m.errs, fmt.Errorf("proc %d: %w", p, err))
+			}
+		}
+		if remaining > 1 {
+			m.issue(p, remaining-1)
+		} else {
+			m.completed++
+		}
+	})
+}

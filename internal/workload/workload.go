@@ -1,0 +1,321 @@
+// Package workload generates the memory reference streams driving the
+// simulated processors.
+//
+// The primary generator, SharedPrivate, realizes the model of §4.2 (after
+// Dubois & Briggs [3]): each processor's reference stream is the merge of a
+// stream of references to private (or read-only shared) blocks with a
+// stream of references to writeable shared blocks; q is the probability the
+// next reference is shared, w the probability a shared reference is a
+// write. The private stream mixes a hot working set with cold references so
+// the private hit ratio is controllable.
+//
+// The remaining generators are structured kernels exercising the protocol
+// paths the paper's introduction motivates: read sharing (MatMul),
+// write-then-read sharing (ProducerConsumer), write-write contention
+// (LockContention), barrier hot spots (Barrier), task migration
+// (Migration), and Zipf-skewed contention (ZipfShared, zipf.go).
+package workload
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/rng"
+)
+
+// Generator produces the next reference for a processor. Implementations
+// are deterministic functions of their construction seed.
+type Generator interface {
+	// Next returns the next memory reference for processor proc.
+	Next(proc int) addr.Ref
+	// Blocks returns the number of memory blocks the generator may touch;
+	// the machine sizes its address space from it.
+	Blocks() int
+}
+
+// SharedPrivateConfig parameterizes the §4.2 reference model.
+type SharedPrivateConfig struct {
+	Procs        int     // number of processors (n)
+	SharedBlocks int     // size of the writeable-shared pool (16 in Table 4-2)
+	Q            float64 // probability a reference is to a shared block
+	W            float64 // probability a shared reference is a write
+	PrivateHit   float64 // target hit ratio of the private stream
+	PrivateWrite float64 // probability a private reference is a write
+	HotBlocks    int     // per-processor hot working set (should fit the cache)
+	ColdBlocks   int     // per-processor cold region behind the hot set
+	Seed         uint64
+}
+
+// Validate reports an error for unusable configurations.
+func (c SharedPrivateConfig) Validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("workload: Procs must be ≥ 1, got %d", c.Procs)
+	}
+	if c.SharedBlocks < 1 {
+		return fmt.Errorf("workload: SharedBlocks must be ≥ 1, got %d", c.SharedBlocks)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"Q", c.Q}, {"W", c.W}, {"PrivateHit", c.PrivateHit}, {"PrivateWrite", c.PrivateWrite}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("workload: %s = %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.HotBlocks < 1 || c.ColdBlocks < 1 {
+		return fmt.Errorf("workload: HotBlocks and ColdBlocks must be ≥ 1")
+	}
+	return nil
+}
+
+// SharedPrivate is the §4.2 merged-stream generator.
+type SharedPrivate struct {
+	cfg  SharedPrivateConfig
+	rngs []*rng.PCG
+}
+
+// NewSharedPrivate constructs the generator. It panics on invalid config.
+func NewSharedPrivate(cfg SharedPrivateConfig) *SharedPrivate {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := &SharedPrivate{cfg: cfg, rngs: make([]*rng.PCG, cfg.Procs)}
+	for p := range g.rngs {
+		g.rngs[p] = rng.New(cfg.Seed, uint64(p)+1)
+	}
+	return g
+}
+
+// Blocks implements Generator: shared pool first, then per-processor
+// private regions (hot then cold).
+func (g *SharedPrivate) Blocks() int {
+	return g.cfg.SharedBlocks + g.cfg.Procs*(g.cfg.HotBlocks+g.cfg.ColdBlocks)
+}
+
+// privateBase returns the first private block of processor p.
+func (g *SharedPrivate) privateBase(p int) int {
+	return g.cfg.SharedBlocks + p*(g.cfg.HotBlocks+g.cfg.ColdBlocks)
+}
+
+// Next implements Generator.
+func (g *SharedPrivate) Next(proc int) addr.Ref {
+	r := g.rngs[proc]
+	if r.Bool(g.cfg.Q) {
+		// Shared stream: uniform over the pool (1/S per block, as in the
+		// Table 4-2 parameters).
+		return addr.Ref{
+			Block:  addr.Block(r.Intn(g.cfg.SharedBlocks)),
+			Write:  r.Bool(g.cfg.W),
+			Shared: true,
+		}
+	}
+	base := g.privateBase(proc)
+	var b int
+	if r.Bool(g.cfg.PrivateHit) {
+		b = base + r.Intn(g.cfg.HotBlocks)
+	} else {
+		b = base + g.cfg.HotBlocks + r.Intn(g.cfg.ColdBlocks)
+	}
+	return addr.Ref{Block: addr.Block(b), Write: r.Bool(g.cfg.PrivateWrite)}
+}
+
+// MatMul emulates a blocked matrix multiply C = A×B: A and B blocks are
+// read-shared by every processor; each processor writes only its own slice
+// of C. The coherence traffic is therefore pure read sharing (Present1 →
+// Present* transitions) with no invalidation storms.
+type MatMul struct {
+	procs   int
+	aBlocks int
+	bBlocks int
+	cSlice  int
+	pos     []int
+}
+
+// NewMatMul returns a generator over procs processors with the given
+// shared-operand and per-processor output sizes (in blocks).
+func NewMatMul(procs, aBlocks, bBlocks, cSlicePerProc int) *MatMul {
+	if procs < 1 || aBlocks < 1 || bBlocks < 1 || cSlicePerProc < 1 {
+		panic("workload: MatMul sizes must be ≥ 1")
+	}
+	return &MatMul{procs: procs, aBlocks: aBlocks, bBlocks: bBlocks,
+		cSlice: cSlicePerProc, pos: make([]int, procs)}
+}
+
+// Blocks implements Generator.
+func (m *MatMul) Blocks() int { return m.aBlocks + m.bBlocks + m.procs*m.cSlice }
+
+// Next implements Generator: the inner-product pattern read A, read B,
+// read A, read B, ..., write C.
+func (m *MatMul) Next(proc int) addr.Ref {
+	i := m.pos[proc]
+	m.pos[proc]++
+	switch i % 5 {
+	case 0, 2:
+		return addr.Ref{Block: addr.Block((i / 5 * 7) % m.aBlocks), Shared: true}
+	case 1, 3:
+		return addr.Ref{Block: addr.Block(m.aBlocks + (i/5*11)%m.bBlocks), Shared: true}
+	default:
+		c := m.aBlocks + m.bBlocks + proc*m.cSlice + (i/5)%m.cSlice
+		return addr.Ref{Block: addr.Block(c), Write: true}
+	}
+}
+
+// ProducerConsumer emulates a circular buffer: processor 0 writes slots in
+// order; the other processors read them. This exercises the read-miss-on-
+// PresentM path (BROADQUERY with write-back) continuously.
+type ProducerConsumer struct {
+	procs int
+	slots int
+	pos   []int
+}
+
+// NewProducerConsumer returns a generator with the given buffer size.
+func NewProducerConsumer(procs, slots int) *ProducerConsumer {
+	if procs < 2 || slots < 1 {
+		panic("workload: ProducerConsumer needs ≥ 2 procs and ≥ 1 slot")
+	}
+	return &ProducerConsumer{procs: procs, slots: slots, pos: make([]int, procs)}
+}
+
+// Blocks implements Generator.
+func (p *ProducerConsumer) Blocks() int { return p.slots }
+
+// Next implements Generator.
+func (p *ProducerConsumer) Next(proc int) addr.Ref {
+	i := p.pos[proc]
+	p.pos[proc]++
+	slot := addr.Block(i % p.slots)
+	if proc == 0 {
+		return addr.Ref{Block: slot, Write: true, Shared: true}
+	}
+	return addr.Ref{Block: slot, Shared: true}
+}
+
+// LockContention emulates processors spinning on a small set of locks:
+// each reference pair is read-lock then write-lock on the same block. The
+// write hit on a previously unmodified block drives the §3.2.4 MREQUEST
+// path, including the racing-MREQUEST scenario of §3.2.5.
+type LockContention struct {
+	procs int
+	locks int
+	rngs  []*rng.PCG
+	held  []int // lock block the processor read last (-1 none)
+}
+
+// NewLockContention returns a generator over the given lock count.
+func NewLockContention(procs, locks int, seed uint64) *LockContention {
+	if procs < 1 || locks < 1 {
+		panic("workload: LockContention needs ≥ 1 procs and locks")
+	}
+	l := &LockContention{procs: procs, locks: locks,
+		rngs: make([]*rng.PCG, procs), held: make([]int, procs)}
+	for p := range l.rngs {
+		l.rngs[p] = rng.New(seed, uint64(p)+100)
+		l.held[p] = -1
+	}
+	return l
+}
+
+// Blocks implements Generator.
+func (l *LockContention) Blocks() int { return l.locks }
+
+// Next implements Generator: read a random lock, then write that same lock.
+func (l *LockContention) Next(proc int) addr.Ref {
+	if l.held[proc] >= 0 {
+		b := l.held[proc]
+		l.held[proc] = -1
+		return addr.Ref{Block: addr.Block(b), Write: true, Shared: true}
+	}
+	b := l.rngs[proc].Intn(l.locks)
+	l.held[proc] = b
+	return addr.Ref{Block: addr.Block(b), Shared: true}
+}
+
+// Migration emulates task migration: each task owns a working set and
+// periodically resumes on another processor, which re-reads and rewrites
+// the set. The paper notes task migration as the other source (besides
+// actual sharing) of two-bit broadcasts.
+type Migration struct {
+	procs    int
+	tasks    int
+	setSize  int
+	interval int
+	rngs     []*rng.PCG
+	taskOf   []int // task currently running on each processor
+	pos      []int
+}
+
+// NewMigration returns a generator with tasks tasks of setSize blocks that
+// migrate every interval references.
+func NewMigration(procs, tasks, setSize, interval int, seed uint64) *Migration {
+	if procs < 2 || tasks < 1 || setSize < 1 || interval < 1 {
+		panic("workload: Migration needs ≥ 2 procs, ≥ 1 tasks/setSize/interval")
+	}
+	m := &Migration{procs: procs, tasks: tasks, setSize: setSize, interval: interval,
+		rngs: make([]*rng.PCG, procs), taskOf: make([]int, procs), pos: make([]int, procs)}
+	for p := range m.rngs {
+		m.rngs[p] = rng.New(seed, uint64(p)+200)
+		m.taskOf[p] = p % tasks
+	}
+	return m
+}
+
+// Blocks implements Generator.
+func (m *Migration) Blocks() int { return m.tasks * m.setSize }
+
+// Next implements Generator.
+func (m *Migration) Next(proc int) addr.Ref {
+	i := m.pos[proc]
+	m.pos[proc]++
+	if i > 0 && i%m.interval == 0 {
+		// The task "migrates": this processor picks up a different task.
+		m.taskOf[proc] = m.rngs[proc].Intn(m.tasks)
+	}
+	task := m.taskOf[proc]
+	b := addr.Block(task*m.setSize + m.rngs[proc].Intn(m.setSize))
+	return addr.Ref{Block: b, Write: m.rngs[proc].Bool(0.3), Shared: true}
+}
+
+// Barrier emulates barrier synchronization: within each episode every
+// processor increments a shared counter block (read then write — the
+// §3.2.4 MREQUEST path under contention), then spin-reads a flag block a
+// few times (read sharing), then moves to the next episode's counter.
+// Episodes cycle over a small set of barrier blocks, producing the
+// periodic all-processor hot spots that barrier-based programs create.
+type Barrier struct {
+	procs    int
+	barriers int
+	spins    int
+	pos      []int
+}
+
+// NewBarrier returns a generator with the given number of barrier blocks
+// (counter+flag pairs) and spin reads per episode.
+func NewBarrier(procs, barriers, spins int) *Barrier {
+	if procs < 1 || barriers < 1 || spins < 1 {
+		panic("workload: Barrier needs ≥ 1 procs, barriers and spins")
+	}
+	return &Barrier{procs: procs, barriers: barriers, spins: spins, pos: make([]int, procs)}
+}
+
+// Blocks implements Generator: a counter and a flag per barrier.
+func (g *Barrier) Blocks() int { return 2 * g.barriers }
+
+// Next implements Generator.
+func (g *Barrier) Next(proc int) addr.Ref {
+	i := g.pos[proc]
+	g.pos[proc]++
+	period := 2 + g.spins // read counter, write counter, spin reads
+	episode := i / period
+	step := i % period
+	counter := addr.Block(2 * (episode % g.barriers))
+	flag := counter + 1
+	switch step {
+	case 0:
+		return addr.Ref{Block: counter, Shared: true}
+	case 1:
+		return addr.Ref{Block: counter, Write: true, Shared: true}
+	default:
+		return addr.Ref{Block: flag, Shared: true}
+	}
+}

@@ -1,0 +1,239 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"twobit/internal/addr"
+)
+
+func spCfg(procs int) SharedPrivateConfig {
+	return SharedPrivateConfig{
+		Procs: procs, SharedBlocks: 16, Q: 0.05, W: 0.3,
+		PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 32, ColdBlocks: 256, Seed: 7,
+	}
+}
+
+func TestSharedPrivateValidate(t *testing.T) {
+	cfg := spCfg(4)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Q = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("Q > 1 accepted")
+	}
+	bad = cfg
+	bad.Procs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Procs = 0 accepted")
+	}
+	bad = cfg
+	bad.SharedBlocks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("SharedBlocks = 0 accepted")
+	}
+	bad = cfg
+	bad.HotBlocks = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("HotBlocks = 0 accepted")
+	}
+}
+
+func TestSharedPrivateRatios(t *testing.T) {
+	g := NewSharedPrivate(spCfg(4))
+	const draws = 200000
+	shared, sharedWrites := 0, 0
+	for i := 0; i < draws; i++ {
+		r := g.Next(i % 4)
+		if r.Shared {
+			shared++
+			if int(r.Block) >= 16 {
+				t.Fatalf("shared ref to block %v outside pool", r.Block)
+			}
+			if r.Write {
+				sharedWrites++
+			}
+		} else if int(r.Block) < 16 {
+			t.Fatalf("private ref landed in the shared pool: %v", r.Block)
+		}
+	}
+	qHat := float64(shared) / draws
+	if math.Abs(qHat-0.05) > 0.005 {
+		t.Errorf("measured q = %v, want ≈ 0.05", qHat)
+	}
+	wHat := float64(sharedWrites) / float64(shared)
+	if math.Abs(wHat-0.3) > 0.03 {
+		t.Errorf("measured w = %v, want ≈ 0.3", wHat)
+	}
+}
+
+func TestSharedPrivateDisjointPrivateRegions(t *testing.T) {
+	g := NewSharedPrivate(spCfg(3))
+	seen := make(map[addr.Block]int)
+	for i := 0; i < 30000; i++ {
+		p := i % 3
+		r := g.Next(p)
+		if r.Shared {
+			continue
+		}
+		if prev, ok := seen[r.Block]; ok && prev != p {
+			t.Fatalf("block %v referenced privately by procs %d and %d", r.Block, prev, p)
+		}
+		seen[r.Block] = p
+	}
+}
+
+func TestSharedPrivateDeterminism(t *testing.T) {
+	a := NewSharedPrivate(spCfg(2))
+	b := NewSharedPrivate(spCfg(2))
+	for i := 0; i < 1000; i++ {
+		if a.Next(i%2) != b.Next(i%2) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSharedPrivateBlocksBound(t *testing.T) {
+	g := NewSharedPrivate(spCfg(4))
+	max := g.Blocks()
+	for i := 0; i < 50000; i++ {
+		if r := g.Next(i % 4); int(r.Block) >= max {
+			t.Fatalf("ref %v beyond Blocks() = %d", r.Block, max)
+		}
+	}
+}
+
+func TestMatMulPattern(t *testing.T) {
+	g := NewMatMul(2, 8, 8, 4)
+	if g.Blocks() != 8+8+2*4 {
+		t.Fatalf("Blocks = %d", g.Blocks())
+	}
+	writesToOwnSlice := 0
+	for i := 0; i < 1000; i++ {
+		for p := 0; p < 2; p++ {
+			r := g.Next(p)
+			if int(r.Block) >= g.Blocks() {
+				t.Fatalf("out of range ref %v", r.Block)
+			}
+			if r.Write {
+				base := 16 + p*4
+				if int(r.Block) < base || int(r.Block) >= base+4 {
+					t.Fatalf("proc %d wrote outside its C slice: %v", p, r.Block)
+				}
+				writesToOwnSlice++
+			} else if !r.Shared {
+				t.Fatal("reads of A/B must be marked shared")
+			}
+		}
+	}
+	if writesToOwnSlice == 0 {
+		t.Fatal("no writes generated")
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	g := NewProducerConsumer(3, 4)
+	if g.Blocks() != 4 {
+		t.Fatalf("Blocks = %d", g.Blocks())
+	}
+	for i := 0; i < 100; i++ {
+		if r := g.Next(0); !r.Write {
+			t.Fatal("producer generated a read")
+		}
+		if r := g.Next(1); r.Write {
+			t.Fatal("consumer generated a write")
+		}
+	}
+}
+
+func TestLockContentionReadThenWriteSameBlock(t *testing.T) {
+	g := NewLockContention(2, 4, 9)
+	for i := 0; i < 100; i++ {
+		r1 := g.Next(0)
+		r2 := g.Next(0)
+		if r1.Write || !r2.Write {
+			t.Fatalf("pair %d: want read then write, got %v %v", i, r1, r2)
+		}
+		if r1.Block != r2.Block {
+			t.Fatalf("pair %d: read %v but wrote %v", i, r1.Block, r2.Block)
+		}
+	}
+}
+
+func TestMigrationMovesTasks(t *testing.T) {
+	g := NewMigration(4, 4, 8, 50, 3)
+	if g.Blocks() != 32 {
+		t.Fatalf("Blocks = %d", g.Blocks())
+	}
+	// After enough references, processor 0 must have touched blocks from
+	// more than one task's working set (i.e., it migrated).
+	sets := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		r := g.Next(0)
+		sets[int(r.Block)/8] = true
+	}
+	if len(sets) < 2 {
+		t.Fatal("processor 0 never migrated")
+	}
+}
+
+func TestConstructorsPanicOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"matmul":   func() { NewMatMul(0, 1, 1, 1) },
+		"prodcons": func() { NewProducerConsumer(1, 4) },
+		"locks":    func() { NewLockContention(0, 1, 1) },
+		"migr":     func() { NewMigration(1, 1, 1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad args did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBarrierPattern(t *testing.T) {
+	g := NewBarrier(2, 2, 3)
+	if g.Blocks() != 4 {
+		t.Fatalf("Blocks = %d", g.Blocks())
+	}
+	// First episode for proc 0: read c0, write c0, then 3 reads of flag 1.
+	refs := make([]addr.Ref, 5)
+	for i := range refs {
+		refs[i] = g.Next(0)
+	}
+	if refs[0].Write || refs[0].Block != 0 {
+		t.Fatalf("step 0 = %v, want read of counter 0", refs[0])
+	}
+	if !refs[1].Write || refs[1].Block != 0 {
+		t.Fatalf("step 1 = %v, want write of counter 0", refs[1])
+	}
+	for i := 2; i < 5; i++ {
+		if refs[i].Write || refs[i].Block != 1 {
+			t.Fatalf("step %d = %v, want spin read of flag 1", i, refs[i])
+		}
+	}
+	// Second episode moves to the other barrier pair.
+	if r := g.Next(0); r.Block != 2 {
+		t.Fatalf("episode 2 counter = %v, want blk#2", r.Block)
+	}
+	for i := 0; i < 1000; i++ {
+		if r := g.Next(1); int(r.Block) >= g.Blocks() {
+			t.Fatalf("out of range: %v", r)
+		}
+	}
+}
+
+func TestBarrierPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBarrier(0, 1, 1)
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"twobit/internal/addr"
+	"twobit/internal/rng"
+)
+
+// ZipfSharedConfig parameterizes a variant of the §4.2 model in which the
+// shared stream is Zipf-skewed instead of uniform: a few hot blocks (locks,
+// the head of a work queue) absorb most of the sharing. The paper's model
+// assumes "the probability that a shared block reference is to a
+// particular shared block is 1/16"; real contention is skewed, which both
+// concentrates broadcasts and makes the §4.4 translation buffer far more
+// effective — an extension experiment, see BenchmarkZipfSharing.
+type ZipfSharedConfig struct {
+	Procs        int
+	SharedBlocks int
+	Skew         float64 // Zipf exponent s ≥ 0; 0 degenerates to uniform
+	Q            float64
+	W            float64
+	PrivateHit   float64
+	PrivateWrite float64
+	HotBlocks    int
+	ColdBlocks   int
+	Seed         uint64
+}
+
+// Validate reports an error for unusable configurations.
+func (c ZipfSharedConfig) Validate() error {
+	base := SharedPrivateConfig{
+		Procs: c.Procs, SharedBlocks: c.SharedBlocks, Q: c.Q, W: c.W,
+		PrivateHit: c.PrivateHit, PrivateWrite: c.PrivateWrite,
+		HotBlocks: c.HotBlocks, ColdBlocks: c.ColdBlocks,
+	}
+	if err := base.Validate(); err != nil {
+		return err
+	}
+	if c.Skew < 0 || math.IsNaN(c.Skew) || math.IsInf(c.Skew, 0) {
+		return fmt.Errorf("workload: Skew = %v must be a finite value ≥ 0", c.Skew)
+	}
+	return nil
+}
+
+// ZipfShared is the skewed-sharing generator.
+type ZipfShared struct {
+	cfg  ZipfSharedConfig
+	cdf  []float64 // cumulative Zipf distribution over the shared pool
+	rngs []*rng.PCG
+}
+
+// NewZipfShared constructs the generator; it panics on invalid config.
+func NewZipfShared(cfg ZipfSharedConfig) *ZipfShared {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := &ZipfShared{cfg: cfg, rngs: make([]*rng.PCG, cfg.Procs)}
+	for p := range g.rngs {
+		g.rngs[p] = rng.New(cfg.Seed, uint64(p)+300)
+	}
+	weights := make([]float64, cfg.SharedBlocks)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), cfg.Skew)
+		total += weights[i]
+	}
+	g.cdf = make([]float64, cfg.SharedBlocks)
+	cum := 0.0
+	for i, w := range weights {
+		cum += w / total
+		g.cdf[i] = cum
+	}
+	g.cdf[len(g.cdf)-1] = 1 // guard against rounding
+	return g
+}
+
+// Blocks implements Generator.
+func (g *ZipfShared) Blocks() int {
+	return g.cfg.SharedBlocks + g.cfg.Procs*(g.cfg.HotBlocks+g.cfg.ColdBlocks)
+}
+
+// Next implements Generator.
+func (g *ZipfShared) Next(proc int) addr.Ref {
+	r := g.rngs[proc]
+	if r.Bool(g.cfg.Q) {
+		u := r.Float64()
+		b := sort.SearchFloat64s(g.cdf, u)
+		if b >= g.cfg.SharedBlocks {
+			b = g.cfg.SharedBlocks - 1
+		}
+		return addr.Ref{Block: addr.Block(b), Write: r.Bool(g.cfg.W), Shared: true}
+	}
+	base := g.cfg.SharedBlocks + proc*(g.cfg.HotBlocks+g.cfg.ColdBlocks)
+	var b int
+	if r.Bool(g.cfg.PrivateHit) {
+		b = base + r.Intn(g.cfg.HotBlocks)
+	} else {
+		b = base + g.cfg.HotBlocks + r.Intn(g.cfg.ColdBlocks)
+	}
+	return addr.Ref{Block: addr.Block(b), Write: r.Bool(g.cfg.PrivateWrite)}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func zipfCfg(skew float64) ZipfSharedConfig {
+	return ZipfSharedConfig{
+		Procs: 4, SharedBlocks: 16, Skew: skew, Q: 0.5, W: 0.3,
+		PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 8, ColdBlocks: 16, Seed: 3,
+	}
+}
+
+func TestZipfValidate(t *testing.T) {
+	if err := zipfCfg(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := zipfCfg(-1)
+	if err := bad.Validate(); err == nil {
+		t.Error("negative skew accepted")
+	}
+	bad = zipfCfg(math.Inf(1))
+	if err := bad.Validate(); err == nil {
+		t.Error("infinite skew accepted")
+	}
+	bad = zipfCfg(1)
+	bad.Procs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero procs accepted")
+	}
+}
+
+func TestZipfSkewConcentratesSharing(t *testing.T) {
+	counts := func(skew float64) []int {
+		g := NewZipfShared(zipfCfg(skew))
+		c := make([]int, 16)
+		for i := 0; i < 100000; i++ {
+			if r := g.Next(i % 4); r.Shared {
+				c[int(r.Block)]++
+			}
+		}
+		return c
+	}
+	uniform := counts(0)
+	skewed := counts(1.5)
+	// Uniform: block 0 gets ~1/16 of shared refs; skewed: far more.
+	totalU, totalS := 0, 0
+	for i := range uniform {
+		totalU += uniform[i]
+		totalS += skewed[i]
+	}
+	fracU := float64(uniform[0]) / float64(totalU)
+	fracS := float64(skewed[0]) / float64(totalS)
+	if math.Abs(fracU-1.0/16) > 0.01 {
+		t.Fatalf("skew=0 block-0 share = %v, want ≈ 1/16", fracU)
+	}
+	if fracS < 3*fracU {
+		t.Fatalf("skew=1.5 block-0 share %v not concentrated vs uniform %v", fracS, fracU)
+	}
+	// Monotone decreasing popularity under skew (allowing sampling noise
+	// between neighbors far down the tail).
+	if !(skewed[0] > skewed[3] && skewed[3] > skewed[15]) {
+		t.Fatalf("skewed counts not decreasing: %v", skewed)
+	}
+}
+
+func TestZipfBlocksBound(t *testing.T) {
+	g := NewZipfShared(zipfCfg(1))
+	max := g.Blocks()
+	for i := 0; i < 50000; i++ {
+		if r := g.Next(i % 4); int(r.Block) >= max {
+			t.Fatalf("ref %v beyond Blocks() = %d", r.Block, max)
+		}
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	a := NewZipfShared(zipfCfg(1))
+	b := NewZipfShared(zipfCfg(1))
+	for i := 0; i < 1000; i++ {
+		if a.Next(i%4) != b.Next(i%4) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfPrivateRegionsDisjointFromShared(t *testing.T) {
+	g := NewZipfShared(zipfCfg(1))
+	for i := 0; i < 20000; i++ {
+		r := g.Next(i % 4)
+		if r.Shared && int(r.Block) >= 16 {
+			t.Fatalf("shared ref outside pool: %v", r.Block)
+		}
+		if !r.Shared && int(r.Block) < 16 {
+			t.Fatalf("private ref inside shared pool: %v", r.Block)
+		}
+	}
+}
