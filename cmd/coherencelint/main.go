@@ -1,0 +1,45 @@
+// Command coherencelint runs the protocol-aware static analyzers of
+// internal/lint over the module containing the working directory:
+//
+//	go run ./cmd/coherencelint ./...
+//
+// It prints one line per finding (path:line:col: [analyzer] message) and
+// exits 1 when any finding survives, 2 when the module cannot be loaded.
+// The package-pattern arguments exist for command-line symmetry with the
+// go tool; the analyzers are whole-module by design, since both the
+// handler-completeness and determinism properties are global.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twobit/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print a summary even when clean")
+	flag.Parse()
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coherencelint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(lint.Config{Dir: dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coherencelint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "coherencelint: %d findings\n", len(diags))
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Println("coherencelint: clean")
+	}
+}

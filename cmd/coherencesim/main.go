@@ -206,10 +206,10 @@ func runCompare(procs, refs int, q, w float64, seed uint64) {
 		p := protocols[name]
 		cfg := twobit.DefaultConfig(p, procs)
 		cfg.Seed = seed
-		switch p {
-		case twobit.Duplication:
+		if p == twobit.Duplication {
 			cfg.Modules = 1
-		case twobit.WriteOnce:
+		}
+		if p == twobit.WriteOnce {
 			cfg.Net = twobit.BusNet
 		}
 		res := run(cfg, procs, refs, q, w, seed)

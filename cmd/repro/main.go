@@ -94,10 +94,10 @@ func main() {
 		twobit.FullMap, twobit.FullMapExclusive, twobit.WriteOnce, twobit.TwoBit,
 	} {
 		cfg := twobit.DefaultConfig(p, 8)
-		switch p {
-		case twobit.Duplication:
+		if p == twobit.Duplication {
 			cfg.Modules = 1
-		case twobit.WriteOnce:
+		}
+		if p == twobit.WriteOnce {
 			cfg.Net = twobit.BusNet
 		}
 		res := run(cfg, gen(8, 0.05, 0.2, 7), 8000)

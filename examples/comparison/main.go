@@ -34,10 +34,10 @@ func main() {
 	fmt.Printf("%-22s %10s %10s %12s %12s\n", "scheme", "cycles/ref", "cmds/ref", "useless/ref", "net msgs")
 	for _, e := range entries {
 		cfg := twobit.DefaultConfig(e.p, procs)
-		switch e.p {
-		case twobit.Duplication:
+		if e.p == twobit.Duplication {
 			cfg.Modules = 1
-		case twobit.WriteOnce:
+		}
+		if e.p == twobit.WriteOnce {
 			cfg.Net = twobit.BusNet
 		}
 		gen := twobit.NewSharedPrivateWorkload(twobit.SharedPrivateConfig{

@@ -148,9 +148,9 @@ func (c *Controller) Deliver(src network.NodeID, m msg.Message) {
 			c.send(c.cfg.Topo.CacheNode(m.Cache), msg.Message{
 				Kind: msg.KindMGranted, Block: m.Block, Cache: m.Cache, Ok: false,
 			})
-			return
+		case directory.Present1, directory.PresentStar:
+			c.submit(src, m)
 		}
-		c.submit(src, m)
 	case msg.KindPut:
 		c.handlePut(m)
 	case msg.KindMAck:
@@ -269,7 +269,7 @@ func (c *Controller) dmaWrite(p proto.Pending) {
 	case directory.Present1, directory.PresentStar:
 		c.invalidate(a, -1)
 		finish()
-	default:
+	case directory.Absent:
 		finish()
 	}
 }
@@ -385,7 +385,7 @@ func (c *Controller) mrequest(p proto.Pending) {
 		// Case 2: invalidate every other copy, then grant.
 		c.invalidate(a, k)
 		grant()
-	default:
+	case directory.Absent, directory.PresentM:
 		// The block's state changed while the MREQUEST waited (the
 		// deny-on-arrival check covers most of this; a state change while
 		// queued lands here). The sender converts on the BROADINV it has

@@ -145,6 +145,8 @@ func (c *Controller) service(p proto.Pending) {
 		c.mrequest(p)
 	case msg.KindEject:
 		c.eject(p)
+	default:
+		panic(fmt.Sprintf("duplication: cannot service %v", p.M))
 	}
 }
 

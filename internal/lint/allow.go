@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+}
+
+// allowSet indexes directives by file and line.
+type allowSet map[string]map[int]allowDirective
+
+// suppresses reports whether an //lint:allow for the diagnostic's
+// analyzer sits on the diagnostic's line or the line directly above it.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if a, ok := lines[ln]; ok && a.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows gathers every //lint:allow directive in the module. A
+// directive without both an analyzer name and a reason is itself a
+// diagnostic: the escape hatch must document why it is used.
+func collectAllows(mod *module) (allowSet, []Diagnostic) {
+	set := make(allowSet)
+	var diags []Diagnostic
+	for _, p := range mod.sorted() {
+		for _, f := range p.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+					if !ok {
+						continue
+					}
+					pos := mod.fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: AnalyzerDirective,
+							Message:  "malformed //lint:allow: need an analyzer name and a written reason",
+						})
+						continue
+					}
+					if set[pos.Filename] == nil {
+						set[pos.Filename] = make(map[int]allowDirective)
+					}
+					set[pos.Filename][pos.Line] = allowDirective{
+						analyzer: fields[0],
+						reason:   strings.Join(fields[1:], " "),
+					}
+				}
+			}
+		}
+	}
+	return set, diags
+}

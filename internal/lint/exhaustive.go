@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// enumInfo describes one enum: a defined integer type together with the
+// package-level constants of that type declared in the type's own
+// package. Constants re-exported from other packages (aliases) carry the
+// same values and therefore count as coverage, but the canonical names
+// reported in diagnostics come from the defining package.
+type enumInfo struct {
+	named *types.Named
+	// names maps constant value to the canonical (first-declared)
+	// constant name in the defining package.
+	names map[int64]string
+	// order holds the values sorted by declaration position.
+	order []int64
+}
+
+// missingAfter returns the canonical names of enum values not in covered.
+func (e *enumInfo) missingAfter(covered map[int64]bool) []string {
+	var out []string
+	for _, v := range e.order {
+		if !covered[v] {
+			out = append(out, e.names[v])
+		}
+	}
+	return out
+}
+
+// collectEnums finds every enum type declared in the module: a defined
+// (non-alias) type whose underlying type is an integer and for which the
+// defining package declares at least two distinct constant values.
+func collectEnums(mod *module) map[*types.Named]*enumInfo {
+	type constDecl struct {
+		value int64
+		name  string
+		pos   token.Pos
+	}
+	byType := make(map[*types.Named][]constDecl)
+	for _, p := range mod.sorted() {
+		for _, obj := range p.info.Defs {
+			cn, ok := obj.(*types.Const)
+			if !ok || cn.Name() == "_" || cn.Parent() != p.types.Scope() {
+				continue
+			}
+			named, ok := cn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				continue
+			}
+			tp := named.Obj().Pkg()
+			if tp == nil || !mod.internal(tp.Path()) || tp != cn.Pkg() {
+				continue
+			}
+			v, ok := constant.Int64Val(cn.Val())
+			if !ok {
+				continue
+			}
+			byType[named] = append(byType[named], constDecl{value: v, name: cn.Name(), pos: cn.Pos()})
+		}
+	}
+	enums := make(map[*types.Named]*enumInfo)
+	for named, decls := range byType {
+		sort.Slice(decls, func(i, j int) bool { return decls[i].pos < decls[j].pos })
+		e := &enumInfo{named: named, names: make(map[int64]string)}
+		for _, d := range decls {
+			if _, dup := e.names[d.value]; !dup {
+				e.names[d.value] = d.name
+				e.order = append(e.order, d.value)
+			}
+		}
+		if len(e.names) >= 2 {
+			enums[named] = e
+		}
+	}
+	return enums
+}
+
+// enumOf resolves the enum behind an expression type, looking through
+// aliases but not through conversions.
+func enumOf(enums map[*types.Named]*enumInfo, t types.Type) *enumInfo {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return enums[named]
+}
+
+// terminalStmt reports whether a statement unconditionally leaves the
+// enclosing function: a return, a panic, or a call that never returns
+// (os.Exit, log.Fatal*). Blocks recurse into their final statement.
+func terminalStmt(info *types.Info, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return terminalStmt(info, s.List[n-1])
+		}
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if obj, ok := info.Uses[fun].(*types.Builtin); ok && obj.Name() == "panic" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+				full := obj.Pkg().Path() + "." + obj.Name()
+				switch full {
+				case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkExhaustive applies the exhaustive-switch analyzer to every switch
+// statement in the module whose tag is an enum type.
+func checkExhaustive(mod *module) []Diagnostic {
+	enums := collectEnums(mod)
+	var diags []Diagnostic
+	for _, p := range mod.sorted() {
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				tv, ok := p.info.Types[sw.Tag]
+				if !ok {
+					return true
+				}
+				enum := enumOf(enums, tv.Type)
+				if enum == nil {
+					return true
+				}
+				covered := make(map[int64]bool)
+				var defaultClause *ast.CaseClause
+				nonConst := false
+				for _, s := range sw.Body.List {
+					cc := s.(*ast.CaseClause)
+					if cc.List == nil {
+						defaultClause = cc
+						continue
+					}
+					for _, e := range cc.List {
+						etv, ok := p.info.Types[e]
+						if !ok || etv.Value == nil {
+							nonConst = true
+							continue
+						}
+						if v, ok := constant.Int64Val(etv.Value); ok {
+							covered[v] = true
+						}
+					}
+				}
+				missing := enum.missingAfter(covered)
+				if len(missing) == 0 || nonConst {
+					// Fully covered, or comparing against non-constant
+					// expressions we cannot reason about.
+					return true
+				}
+				tname := enum.named.Obj().Pkg().Name() + "." + enum.named.Obj().Name()
+				pos := mod.fset.Position(sw.Switch)
+				switch {
+				case defaultClause == nil:
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: AnalyzerExhaustive,
+						Message: fmt.Sprintf("non-exhaustive switch over %s: missing %s (add the cases or a terminating default)",
+							tname, strings.Join(missing, ", ")),
+					})
+				case len(defaultClause.Body) == 0 ||
+					!terminalStmt(p.info, defaultClause.Body[len(defaultClause.Body)-1]):
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: AnalyzerExhaustive,
+						Message: fmt.Sprintf("switch over %s has a default that neither panics nor returns, hiding missing %s",
+							tname, strings.Join(missing, ", ")),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

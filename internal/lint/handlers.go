@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ifaceIn looks up an interface type by name in a package.
+func ifaceIn(p *pkg, name string) *types.Interface {
+	if p == nil {
+		return nil
+	}
+	obj := p.types.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsIn reports whether the package declares a concrete named
+// type that implements iface (directly or via pointer receiver).
+func implementsIn(p *pkg, iface *types.Interface) bool {
+	scope := p.types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if types.IsInterface(named) {
+			continue
+		}
+		if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHandlers applies the handler-completeness analyzer: every message
+// kind (exported, non-zero constant of the message enum) must be
+// referenced in at least one cache-side package and at least one
+// memory-side package. A package is cache-side (memory-side) when it
+// declares a type implementing the CacheSide (MemSide) interface; a
+// reference anywhere in such a package counts, because dispatch switches
+// and send sites both live next to the implementing type.
+func checkHandlers(mod *module, cfg Config) []Diagnostic {
+	msgPkg := mod.pkgs[cfg.MsgPath]
+	protoPkg := mod.pkgs[cfg.ProtoPath]
+	if msgPkg == nil || protoPkg == nil {
+		// Modules without the protocol vocabulary (fixtures for the other
+		// analyzers) have nothing to check.
+		return nil
+	}
+	cacheIface := ifaceIn(protoPkg, cfg.CacheIface)
+	memIface := ifaceIn(protoPkg, cfg.MemIface)
+	if cacheIface == nil || memIface == nil {
+		return []Diagnostic{{
+			Pos:      mod.fset.Position(protoPkg.files[0].Package),
+			Analyzer: AnalyzerHandlers,
+			Message: fmt.Sprintf("package %s does not declare interfaces %s and %s",
+				cfg.ProtoPath, cfg.CacheIface, cfg.MemIface),
+		}}
+	}
+
+	// The message kinds under contract: exported package-level constants
+	// of the enum type with a non-zero value (the zero value is the
+	// conventional "invalid" sentinel; unexported sentinels such as a
+	// trailing numKinds bound are skipped by the export check).
+	enumObj := msgPkg.types.Scope().Lookup(cfg.MsgEnum)
+	if enumObj == nil {
+		return []Diagnostic{{
+			Pos:      mod.fset.Position(msgPkg.files[0].Package),
+			Analyzer: AnalyzerHandlers,
+			Message:  fmt.Sprintf("package %s does not declare enum %s", cfg.MsgPath, cfg.MsgEnum),
+		}}
+	}
+	enumType := enumObj.Type()
+	var kinds []*types.Const
+	for _, obj := range msgPkg.info.Defs {
+		cn, ok := obj.(*types.Const)
+		if !ok || !cn.Exported() || cn.Parent() != msgPkg.types.Scope() {
+			continue
+		}
+		if !types.Identical(cn.Type(), enumType) {
+			continue
+		}
+		if v, ok := constant.Int64Val(cn.Val()); !ok || v == 0 {
+			continue
+		}
+		kinds = append(kinds, cn)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].Pos() < kinds[j].Pos() })
+
+	var cachePkgs, memPkgs []*pkg
+	for _, p := range mod.sorted() {
+		if p == msgPkg {
+			continue
+		}
+		if implementsIn(p, cacheIface) {
+			cachePkgs = append(cachePkgs, p)
+		}
+		if implementsIn(p, memIface) {
+			memPkgs = append(memPkgs, p)
+		}
+	}
+
+	usedIn := func(set []*pkg, cn *types.Const) bool {
+		for _, p := range set {
+			for _, obj := range p.info.Uses {
+				if obj == types.Object(cn) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	names := func(set []*pkg) string {
+		var out []string
+		for _, p := range set {
+			out = append(out, p.path)
+		}
+		if len(out) == 0 {
+			return "none found"
+		}
+		return strings.Join(out, ", ")
+	}
+
+	var diags []Diagnostic
+	for _, cn := range kinds {
+		var missing []string
+		if !usedIn(cachePkgs, cn) {
+			missing = append(missing, fmt.Sprintf("no cache-side dispatch site (searched %s implementations in: %s)",
+				cfg.CacheIface, names(cachePkgs)))
+		}
+		if !usedIn(memPkgs, cn) {
+			missing = append(missing, fmt.Sprintf("no memory-side dispatch site (searched %s implementations in: %s)",
+				cfg.MemIface, names(memPkgs)))
+		}
+		if len(missing) > 0 {
+			diags = append(diags, Diagnostic{
+				Pos:      mod.fset.Position(cn.Pos()),
+				Analyzer: AnalyzerHandlers,
+				Message:  fmt.Sprintf("message kind %s: %s", cn.Name(), strings.Join(missing, "; ")),
+			})
+		}
+	}
+	return diags
+}

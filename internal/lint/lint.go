@@ -1,0 +1,154 @@
+// Package lint is coherencelint: a protocol-aware static analysis pass
+// over this module, built entirely on the standard library's go/parser,
+// go/ast and go/types (source importer). It proves three properties the
+// runtime invariant checker and the bounded model checker cannot see
+// until a simulation runs:
+//
+//   - exhaustive-switch: every switch over a protocol/cache/directory
+//     state or message-kind enum (any defined integer type with a
+//     declared constant set) either covers every constant or carries a
+//     default that panics or returns, so a refactor cannot silently drop
+//     a protocol transition.
+//
+//   - handler-completeness: every message kind declared in internal/msg
+//     is wired into at least one cache-side package (one containing a
+//     proto.CacheSide implementation) and at least one memory-side
+//     package (one containing a proto.MemSide implementation), so adding
+//     a message without handling both ends fails the build.
+//
+//   - determinism: packages reachable from the event kernel (they import
+//     internal/sim, directly or transitively, plus everything those
+//     packages depend on) must not call time.Now, import math/rand,
+//     start goroutines, or range over a map while scheduling events or
+//     appending to slices in the loop body — the leaks that would make
+//     two runs of the same seed diverge.
+//
+// A finding can be suppressed only by an explicit escape hatch on the
+// offending line (or the line above):
+//
+//	//lint:allow <analyzer> <reason>
+//
+// where <reason> is mandatory. The three analyzer names are
+// "exhaustive-switch", "handler-completeness" and "determinism".
+//
+// The analyzers run in two places: `go run ./cmd/coherencelint ./...`
+// for build pipelines, and TestModuleIsLintClean in this package so that
+// plain `go test ./...` enforces them forever.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Analyzer names, used in diagnostics and //lint:allow directives.
+const (
+	AnalyzerExhaustive  = "exhaustive-switch"
+	AnalyzerHandlers    = "handler-completeness"
+	AnalyzerDeterminism = "determinism"
+	// AnalyzerDirective reports malformed //lint:allow directives; it
+	// cannot itself be suppressed.
+	AnalyzerDirective = "allow-directive"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional path:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Config points the analyzers at a module. The zero value of every field
+// except Dir is derived from the module's own path, so production use is
+// just Run(Config{Dir: dir}); the overrides exist for the fixture tests,
+// which check the analyzers against tiny self-contained modules.
+type Config struct {
+	// Dir is any directory inside the module to analyze.
+	Dir string
+
+	// MsgPath is the package declaring the message-kind enum.
+	// Default: <module>/internal/msg.
+	MsgPath string
+	// MsgEnum is the name of the message-kind type. Default: Kind.
+	MsgEnum string
+	// ProtoPath is the package declaring the cache-side and memory-side
+	// interfaces. Default: <module>/internal/proto.
+	ProtoPath string
+	// CacheIface and MemIface are the interface names classifying a
+	// package as cache-side or memory-side. Defaults: CacheSide, MemSide.
+	CacheIface string
+	MemIface   string
+	// SimPath is the event-kernel package; reachability from it defines
+	// the determinism scope. Default: <module>/internal/sim.
+	SimPath string
+	// NetPath is the network package whose Send/Broadcast methods count
+	// as event scheduling. Default: <module>/internal/network.
+	NetPath string
+	// Scope restricts the determinism analyzer to import paths with this
+	// prefix. Default: <module>/internal (the whole module when no
+	// internal directory exists, as in the fixtures).
+	Scope string
+}
+
+func (c *Config) fill(mod *module) {
+	def := func(p *string, v string) {
+		if *p == "" {
+			*p = v
+		}
+	}
+	def(&c.MsgPath, mod.path+"/internal/msg")
+	def(&c.MsgEnum, "Kind")
+	def(&c.ProtoPath, mod.path+"/internal/proto")
+	def(&c.CacheIface, "CacheSide")
+	def(&c.MemIface, "MemSide")
+	def(&c.SimPath, mod.path+"/internal/sim")
+	def(&c.NetPath, mod.path+"/internal/network")
+	if c.Scope == "" {
+		c.Scope = mod.path + "/internal"
+		if _, ok := mod.pkgs[c.SimPath]; !ok {
+			c.Scope = mod.path
+		}
+	}
+}
+
+// Run loads the module containing cfg.Dir and applies all three
+// analyzers, returning the surviving diagnostics sorted by position.
+// A non-nil error means the module could not be loaded or type-checked;
+// an empty diagnostic slice with a nil error means the tree is clean.
+func Run(cfg Config) ([]Diagnostic, error) {
+	mod, err := loadModule(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.fill(mod)
+
+	allows, diags := collectAllows(mod)
+	diags = append(diags, checkExhaustive(mod)...)
+	diags = append(diags, checkHandlers(mod, cfg)...)
+	diags = append(diags, checkDeterminism(mod, cfg)...)
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != AnalyzerDirective && allows.suppresses(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept, nil
+}

@@ -1,0 +1,104 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"twobit/internal/lint"
+)
+
+// fixture returns the absolute root of a testdata module.
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// run lints one fixture module and renders each diagnostic with a
+// fixture-relative path so the expectations below stay portable.
+func run(t *testing.T, cfg lint.Config) []string {
+	t.Helper()
+	diags, err := lint.Run(cfg)
+	if err != nil {
+		t.Fatalf("lint.Run(%s): %v", cfg.Dir, err)
+	}
+	var got []string
+	for _, d := range diags {
+		rel, err := filepath.Rel(cfg.Dir, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		got = append(got, fmt.Sprintf("%s:%d:%d: [%s] %s",
+			filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
+	}
+	return got
+}
+
+func expect(t *testing.T, got, want []string) {
+	t.Helper()
+	for i := 0; i < len(got) || i < len(want); i++ {
+		g, w := "", ""
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Errorf("diagnostic %d:\n  got  %s\n  want %s", i, g, w)
+		}
+	}
+}
+
+func TestExhaustiveFixtures(t *testing.T) {
+	expect(t, run(t, lint.Config{Dir: fixture(t, "exhaustgood")}), nil)
+
+	expect(t, run(t, lint.Config{Dir: fixture(t, "exhaustbad")}), []string{
+		"exhaust.go:19:2: [exhaustive-switch] non-exhaustive switch over exhaustbad.Color: missing Blue (add the cases or a terminating default)",
+		"exhaust.go:30:2: [exhaustive-switch] switch over exhaustbad.Color has a default that neither panics nor returns, hiding missing Green, Blue",
+	})
+}
+
+func TestHandlerFixtures(t *testing.T) {
+	expect(t, run(t, lint.Config{
+		Dir:       fixture(t, "handlergood"),
+		MsgPath:   "handlergood/msg",
+		ProtoPath: "handlergood/proto",
+	}), nil)
+
+	expect(t, run(t, lint.Config{
+		Dir:       fixture(t, "handlerbad"),
+		MsgPath:   "handlerbad/msg",
+		ProtoPath: "handlerbad/proto",
+	}), []string{
+		"msg/msg.go:12:2: [handler-completeness] message kind KindPong: no memory-side dispatch site (searched MemSide implementations in: handlerbad/ctrl)",
+		"msg/msg.go:13:2: [handler-completeness] message kind KindOrphan: no cache-side dispatch site (searched CacheSide implementations in: handlerbad/agent); no memory-side dispatch site (searched MemSide implementations in: handlerbad/ctrl)",
+	})
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	// The good module also exercises the //lint:allow escape hatch (a
+	// suppressed goroutine in eng) and the scope rule (an unsuppressed
+	// goroutine in free, which never imports the kernel).
+	expect(t, run(t, lint.Config{
+		Dir:     fixture(t, "determgood"),
+		SimPath: "determgood/sim",
+		Scope:   "determgood",
+	}), nil)
+
+	expect(t, run(t, lint.Config{
+		Dir:     fixture(t, "determbad"),
+		SimPath: "determbad/sim",
+		Scope:   "determbad",
+	}), []string{
+		"eng/eng.go:6:2: [determinism] event-kernel package determbad/eng imports math/rand; use the deterministic internal/rng instead",
+		"eng/eng.go:20:9: [determinism] time.Now in event-kernel package: simulated time must come from the kernel clock",
+		"eng/eng.go:25:2: [determinism] go statement in event-kernel package determbad/eng: goroutine interleaving breaks replayability",
+		"eng/eng.go:33:9: [determinism] append inside a range over a map: iteration order leaks into the result slice",
+		"eng/eng.go:34:3: [determinism] range over a map schedules a kernel event via After: iteration order leaks into the event schedule",
+	})
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pkg is one type-checked package of the module under analysis.
+type pkg struct {
+	path  string // import path
+	dir   string // absolute directory
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+	// modImports lists the module-internal packages this package imports
+	// directly, for the determinism analyzer's reachability computation.
+	modImports []string
+}
+
+// module is a fully loaded and type-checked module tree.
+type module struct {
+	root string // absolute module root (directory of go.mod)
+	path string // module path from go.mod
+	fset *token.FileSet
+	pkgs map[string]*pkg
+	// order is the deterministic (sorted) traversal order of pkgs.
+	order []string
+}
+
+// sorted returns the packages in import-path order.
+func (m *module) sorted() []*pkg {
+	out := make([]*pkg, 0, len(m.order))
+	for _, p := range m.order {
+		out = append(out, m.pkgs[p])
+	}
+	return out
+}
+
+// internal reports whether path is a package of this module.
+func (m *module) internal(path string) bool {
+	return path == m.path || strings.HasPrefix(path, m.path+"/")
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: %s/go.mod has no module directive", root)
+}
+
+// packageDirs returns every directory under root holding non-test Go
+// files, skipping testdata, hidden and underscore-prefixed directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				dirs = append(dirs, p)
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(dirs)
+	return dirs, err
+}
+
+// loader performs the recursive parse-and-type-check of a module. Module-
+// internal imports are resolved by the loader itself; everything else
+// (the standard library) goes through the source importer.
+type loader struct {
+	mod   *module
+	std   types.Importer
+	state map[string]int // 0 unvisited, 1 in progress, 2 done
+	dirOf map[string]string
+	errs  []error
+}
+
+// Import implements types.Importer for the type-checker: module-internal
+// paths recurse into the loader, all others fall back to the stdlib
+// source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if l.mod.internal(path) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one module package (memoized).
+func (l *loader) load(path string) (*pkg, error) {
+	if p, ok := l.mod.pkgs[path]; ok {
+		return p, nil
+	}
+	switch l.state[path] {
+	case 1:
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	dir, ok := l.dirOf[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not found in module", path)
+	}
+	l.state[path] = 1
+	defer func() { l.state[path] = 2 }()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.mod.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	var modImports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if l.mod.internal(ip) && !seen[ip] {
+				seen[ip] = true
+				modImports = append(modImports, ip)
+			}
+		}
+	}
+	sort.Strings(modImports)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			l.errs = append(l.errs, err)
+		},
+	}
+	tpkg, err := cfg.Check(path, l.mod.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	p := &pkg{path: path, dir: dir, files: files, types: tpkg, info: info, modImports: modImports}
+	l.mod.pkgs[path] = p
+	return p, nil
+}
+
+// loadModule loads and type-checks every package of the module containing
+// dir, using only the standard library toolchain (no external tooling).
+func loadModule(dir string) (*module, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mpath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	mod := &module{
+		root: root,
+		path: mpath,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*pkg),
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		mod:   mod,
+		std:   importer.ForCompiler(mod.fset, "source", nil),
+		state: make(map[string]int),
+		dirOf: make(map[string]string),
+	}
+	for _, d := range dirs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		ip := mpath
+		if rel != "." {
+			ip = mpath + "/" + filepath.ToSlash(rel)
+		}
+		l.dirOf[ip] = d
+		mod.order = append(mod.order, ip)
+	}
+	sort.Strings(mod.order)
+	for _, ip := range mod.order {
+		if _, err := l.load(ip); err != nil {
+			return nil, err
+		}
+	}
+	if len(l.errs) > 0 {
+		return nil, fmt.Errorf("lint: %d type errors, first: %v", len(l.errs), l.errs[0])
+	}
+	return mod, nil
+}

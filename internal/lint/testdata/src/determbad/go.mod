@@ -1,0 +1,3 @@
+module determbad
+
+go 1.22

@@ -1,0 +1,8 @@
+// Package free never imports the kernel, so it sits outside the
+// determinism scope: goroutines here are fine without any directive.
+package free
+
+// Helper runs outside the event kernel.
+func Helper(done chan struct{}) {
+	go func() { close(done) }()
+}

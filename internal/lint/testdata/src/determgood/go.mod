@@ -1,0 +1,3 @@
+module determgood
+
+go 1.22

@@ -1,0 +1,36 @@
+// Package exhaustbad holds the switches the exhaustive-switch analyzer
+// must reject; the test pins the exact positions and messages.
+package exhaustbad
+
+// Color is a three-valued enum.
+type Color uint8
+
+// The colors.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+var sink int
+
+// name drops Blue with no default: a silently unhandled state.
+func name(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+// act hides Green and Blue behind a default that quietly does work.
+func act(c Color) {
+	switch c {
+	case Red:
+		sink = 1
+	default:
+		sink = 2
+	}
+}

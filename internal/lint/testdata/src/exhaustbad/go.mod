@@ -1,0 +1,3 @@
+module exhaustbad
+
+go 1.22

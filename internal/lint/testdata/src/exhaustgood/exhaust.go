@@ -1,0 +1,55 @@
+// Package exhaustgood holds only switches the exhaustive-switch
+// analyzer must accept.
+package exhaustgood
+
+// Color is a three-valued enum.
+type Color uint8
+
+// The colors.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// name covers every constant; no default needed.
+func name(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return "?"
+}
+
+// act is partial but its default returns, taking responsibility for the
+// remaining values.
+func act(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// must is partial but its default panics.
+func must(c Color) {
+	switch c {
+	case Red:
+	default:
+		panic("must: not red")
+	}
+}
+
+// plain switches over ordinary integers are not the analyzer's business.
+func plain(n int) int {
+	switch n {
+	case 1:
+		return 10
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module exhaustgood
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package agent is the cache-side dispatcher; it knows Ping and Pong
+// but not Orphan.
+package agent
+
+import "handlerbad/msg"
+
+// Agent implements proto.CacheSide.
+type Agent struct{}
+
+// Handle dispatches controller commands.
+func (Agent) Handle(k msg.Kind) {
+	switch k {
+	case msg.KindPing, msg.KindPong:
+	default:
+		panic("agent: unexpected kind")
+	}
+}

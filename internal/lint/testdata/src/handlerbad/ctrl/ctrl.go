@@ -1,0 +1,14 @@
+// Package ctrl is the memory-side dispatcher; it only knows Ping.
+package ctrl
+
+import "handlerbad/msg"
+
+// Ctrl implements proto.MemSide.
+type Ctrl struct{}
+
+// Serve dispatches cache commands.
+func (Ctrl) Serve(k msg.Kind) {
+	if k != msg.KindPing {
+		panic("ctrl: unexpected kind")
+	}
+}

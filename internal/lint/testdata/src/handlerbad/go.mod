@@ -1,0 +1,3 @@
+module handlerbad
+
+go 1.22

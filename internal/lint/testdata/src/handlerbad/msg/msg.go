@@ -1,0 +1,18 @@
+// Package msg is the bad handler fixture's vocabulary: KindPong is
+// never served by the memory side and KindOrphan is dispatched nowhere.
+package msg
+
+// Kind identifies a command.
+type Kind uint8
+
+// The command kinds.
+const (
+	KindInvalid Kind = iota
+	KindPing
+	KindPong
+	KindOrphan
+	numKinds // sentinel, exempt from the handler contract
+)
+
+// Valid reports whether k is a defined command kind.
+func (k Kind) Valid() bool { return k > KindInvalid && k < numKinds }

@@ -1,0 +1,15 @@
+// Package proto declares the two protocol halves the analyzer uses to
+// classify packages as cache-side or memory-side.
+package proto
+
+import "handlerbad/msg"
+
+// CacheSide is the processor-facing half of a protocol.
+type CacheSide interface {
+	Handle(k msg.Kind)
+}
+
+// MemSide is the memory-controller half of a protocol.
+type MemSide interface {
+	Serve(k msg.Kind)
+}

@@ -1,0 +1,17 @@
+// Package agent is the cache-side handler fixture; it dispatches every
+// message kind.
+package agent
+
+import "handlergood/msg"
+
+// Agent implements proto.CacheSide.
+type Agent struct{}
+
+// Handle dispatches controller commands.
+func (Agent) Handle(k msg.Kind) {
+	switch k {
+	case msg.KindPing, msg.KindPong:
+	default:
+		panic("agent: unexpected kind")
+	}
+}

@@ -1,0 +1,17 @@
+// Package ctrl is the memory-side handler fixture; it dispatches every
+// message kind.
+package ctrl
+
+import "handlergood/msg"
+
+// Ctrl implements proto.MemSide.
+type Ctrl struct{}
+
+// Serve dispatches cache commands.
+func (Ctrl) Serve(k msg.Kind) {
+	switch k {
+	case msg.KindPing, msg.KindPong:
+	default:
+		panic("ctrl: unexpected kind")
+	}
+}

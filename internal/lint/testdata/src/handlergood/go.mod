@@ -1,0 +1,3 @@
+module handlergood
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package msg is a miniature message vocabulary for the
+// handler-completeness fixtures.
+package msg
+
+// Kind identifies a command.
+type Kind uint8
+
+// The command kinds.
+const (
+	KindInvalid Kind = iota
+	KindPing
+	KindPong
+	numKinds // sentinel, exempt from the handler contract
+)
+
+// Valid reports whether k is a defined command kind.
+func (k Kind) Valid() bool { return k > KindInvalid && k < numKinds }

@@ -99,8 +99,9 @@ func (k Kind) IsData() bool {
 	switch k {
 	case KindPut, KindGet, KindBusFlush:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // RW distinguishes the read and write flavors of REQUEST, EJECT,

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the full verification gauntlet, in increasing cost order:
+# compile, vet, coherencelint (static protocol analysis), then the test
+# suite under the race detector. Everything must pass for a change to
+# land.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> coherencelint ./..."
+go run ./cmd/coherencelint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
