@@ -16,6 +16,7 @@ import (
 
 	"twobit/internal/proto"
 	"twobit/internal/sim"
+	"twobit/internal/sweep"
 	"twobit/internal/workload"
 )
 
@@ -358,6 +359,43 @@ func BenchmarkMigration(b *testing.B) {
 				b.ReportMetric(float64(last.Broadcasts), "broadcasts")
 			})
 		}
+	}
+}
+
+// BenchmarkSweep measures the experiment-orchestration engine's campaign
+// throughput (complete simulation runs per second) as the worker pool
+// widens. The engine guarantees byte-identical output at every width, so
+// this curve is pure speedup, not a quality trade. scripts/bench.sh
+// archives it as BENCH_sweep.json.
+func BenchmarkSweep(b *testing.B) {
+	plan := &sweep.Plan{
+		Name:        "bench",
+		Protocols:   []string{TwoBit.String(), FullMap.String()},
+		Qs:          []float64{0.05, 0.10},
+		Ws:          []float64{0.2, 0.3},
+		Procs:       []int{4, 8},
+		Replicates:  1,
+		RefsPerProc: 500,
+		RootSeed:    7,
+	}
+	plan.Normalize()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			runs := 0
+			for i := 0; i < b.N; i++ {
+				recs, err := sweep.Collect(plan, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range recs {
+					if r.Err != "" {
+						b.Fatalf("run %d failed: %s", r.RunID, r.Err)
+					}
+				}
+				runs += len(recs)
+			}
+			b.ReportMetric(float64(runs)/b.Elapsed().Seconds(), "runs/s")
+		})
 	}
 }
 

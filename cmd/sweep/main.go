@@ -1,0 +1,182 @@
+// Command sweep executes simulation campaigns: cartesian parameter grids
+// of seeded runs, in parallel, with checkpointed resumption and
+// deterministic output.
+//
+//	sweep -example > plan.json          # write a documented example plan
+//	sweep -plan plan.json               # run it, store to <name>.jsonl
+//	sweep -plan plan.json -workers 8    # same bytes, 8× the cores
+//	sweep -plan plan.json -resume       # continue an interrupted campaign
+//	sweep -plan plan.json -format csv   # aggregate as CSV instead of text
+//
+// The engine guarantees that the result store is byte-identical whatever
+// -workers is, and that a killed campaign resumed with -resume converges
+// to the byte-identical store. The aggregate view (mean over replicates,
+// with min/max under -spread) folds the store into Table 4-1/4-2-shaped
+// grids: rows w, columns n, one section per (protocol, network, q).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"twobit/internal/report"
+	"twobit/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	planPath := flag.String("plan", "", "campaign plan JSON file ('-' for stdin)")
+	example := flag.Bool("example", false, "print a documented example plan and exit")
+	workers := flag.Int("workers", 1, "worker goroutines (output is identical for any value)")
+	out := flag.String("out", "", "result store path (default <plan name>.jsonl)")
+	resume := flag.Bool("resume", false, "continue an interrupted campaign from the store's checkpoint")
+	format := flag.String("format", "table", "aggregate output: table, csv or json")
+	metric := flag.String("metric", "useless_per_ref", "metric to aggregate (see -metrics)")
+	listMetrics := flag.Bool("metrics", false, "list the aggregatable metrics and exit")
+	spread := flag.Bool("spread", false, "also print min/max grids across replicates")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	if *example {
+		data, err := sweep.ExamplePlan().MarshalIndent()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if *listMetrics {
+		for _, n := range sweep.MetricNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if *planPath == "" {
+		return fmt.Errorf("no -plan given (try -example for the format)")
+	}
+
+	plan, err := readPlan(*planPath)
+	if err != nil {
+		return err
+	}
+	storePath := *out
+	if storePath == "" {
+		storePath = plan.Name + ".jsonl"
+	}
+
+	st, err := sweep.Open(storePath, *resume)
+	if err != nil {
+		return err
+	}
+	total := plan.Size()
+	done := st.Next()
+	if done > 0 {
+		prefix, err := sweep.LoadStore(storePath)
+		if err != nil {
+			return err
+		}
+		if err := sweep.CheckPrefix(plan, prefix); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "resuming %s: %d/%d runs checkpointed in %s\n", plan.Name, done, total, storePath)
+		}
+	}
+	err = sweep.Execute(plan, *workers, done, func(rec sweep.Record) error {
+		if err := st.Append(rec); err != nil {
+			return err
+		}
+		done++
+		if !*quiet && (done%10 == 0 || done == total) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+		}
+		return nil
+	})
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "\rcampaign %s complete: %d runs in %s\n", plan.Name, total, storePath)
+	}
+
+	recs, err := sweep.LoadStore(storePath)
+	if err != nil {
+		return err
+	}
+	grids, failed, err := sweep.Aggregate(plan, recs, *metric)
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d of %d runs failed; see the err fields in %s\n", failed, total, storePath)
+	}
+	return render(grids, *format, *spread, plan.Replicates)
+}
+
+func readPlan(path string) (*sweep.Plan, error) {
+	if path == "-" {
+		return sweep.ReadPlan(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sweep.ReadPlan(f)
+}
+
+// selected returns the grids to print: the mean, plus min/max when the
+// spread is requested and there is more than one replicate.
+func selected(gs sweep.GridSet, spread bool, replicates int) []*report.Grid {
+	out := []*report.Grid{&gs.Mean}
+	if spread && replicates > 1 {
+		out = append(out, &gs.Min, &gs.Max)
+	}
+	return out
+}
+
+func render(grids []sweep.GridSet, format string, spread bool, replicates int) error {
+	switch format {
+	case "table":
+		for _, gs := range grids {
+			for _, g := range selected(gs, spread, replicates) {
+				if err := g.Write(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		}
+		return nil
+	case "csv":
+		for _, gs := range grids {
+			for _, g := range selected(gs, spread, replicates) {
+				if err := g.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		}
+		return nil
+	case "json":
+		var all []*report.Grid
+		for _, gs := range grids {
+			all = append(all, selected(gs, spread, replicates)...)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	default:
+		return fmt.Errorf("unknown -format %q (want table, csv or json)", format)
+	}
+}

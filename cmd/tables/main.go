@@ -3,6 +3,13 @@
 //	tables -table 4.1           # Table 4-1 from the §4.2 closed form
 //	tables -table 4.2           # Table 4-2 from the Dubois–Briggs reconstruction
 //	tables -table all -compare  # both, with the paper's printed values inline
+//	tables -sim -workers 8      # the simulated counterparts, via the sweep engine
+//
+// With -sim, the analytic grids are replaced by their measured
+// counterparts: the same (q × w × n) campaign the paper's §4.3 defers to
+// "future simulation studies", executed through the internal/sweep
+// orchestration engine (so tables and cmd/sweep share one execution
+// substrate and the grids are deterministic for any -workers value).
 package main
 
 import (
@@ -11,6 +18,7 @@ import (
 	"os"
 
 	"twobit"
+	"twobit/internal/sweep"
 )
 
 func main() {
@@ -18,6 +26,9 @@ func main() {
 	compare := flag.Bool("compare", false, "print computed values side by side with the paper's")
 	cost := flag.Bool("cost", false, "also print the directory hardware-economy comparison (§2.4.2/§3.1)")
 	viability := flag.Bool("viability", false, "also print the §4.3 viability boundaries")
+	sim := flag.Bool("sim", false, "measure the tables by simulation through the sweep engine instead of the models")
+	workers := flag.Int("workers", 1, "worker goroutines for -sim (the grids are identical for any value)")
+	refs := flag.Int("refs", 2000, "references per processor for -sim")
 	flag.Parse()
 
 	if *cost {
@@ -29,6 +40,19 @@ func main() {
 		fmt.Println()
 	}
 
+	if *table != "4.1" && *table != "4.2" && *table != "all" {
+		fmt.Fprintf(os.Stderr, "tables: unknown table %q (want 4.1, 4.2 or all)\n", *table)
+		os.Exit(2)
+	}
+
+	if *sim {
+		if err := printSim(*table, *workers, *refs); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	switch *table {
 	case "4.1":
 		print41(*compare)
@@ -38,10 +62,77 @@ func main() {
 		print41(*compare)
 		fmt.Println()
 		print42(*compare)
-	default:
-		fmt.Fprintf(os.Stderr, "tables: unknown table %q (want 4.1, 4.2 or all)\n", *table)
-		os.Exit(2)
 	}
+}
+
+// simQs maps the tables' three sharing levels onto shared-reference
+// probabilities, matching experiment E3 (EXPERIMENTS.md).
+var simQs = []float64{0.01, 0.05, 0.10}
+
+// simPlan is the measured-counterpart campaign: the two-bit scheme over
+// the papers' full (q × w × n) axes.
+func simPlan(refs int) *sweep.Plan {
+	p := &sweep.Plan{
+		Name:        "tables-sim",
+		Protocols:   []string{twobit.TwoBit.String()},
+		Qs:          simQs,
+		Ws:          []float64{0.1, 0.2, 0.3, 0.4},
+		Procs:       []int{4, 8, 16, 32, 64},
+		RefsPerProc: refs,
+		RootSeed:    3,
+	}
+	p.Normalize()
+	return p
+}
+
+// printSim regenerates the tables' grids by simulation: one campaign
+// through the sweep engine, aggregated once per table. Table 4-1's
+// simulated counterpart is the measured useless-command overhead (what a
+// full map would not have sent); Table 4-2's is the measured total
+// external commands per cache per reference.
+func printSim(table string, workers, refs int) error {
+	plan := simPlan(refs)
+	recs, err := sweep.Collect(plan, workers)
+	if err != nil {
+		return err
+	}
+	if table == "4.1" || table == "all" {
+		if err := printSimTable(plan, recs, "useless_per_ref",
+			"Table 4-1 (simulated): measured useless commands per cache per memory reference"); err != nil {
+			return err
+		}
+	}
+	if table == "all" {
+		fmt.Println()
+	}
+	if table == "4.2" || table == "all" {
+		if err := printSimTable(plan, recs, "cmds_per_ref",
+			"Table 4-2 (simulated): measured commands received per cache per memory reference"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printSimTable folds the campaign into one table-shaped grid set.
+func printSimTable(plan *sweep.Plan, recs []sweep.Record, metric, title string) error {
+	grids, failed, err := sweep.Aggregate(plan, recs, metric)
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d runs failed", failed, plan.Size())
+	}
+	fmt.Println(title)
+	cases := []string{"case 1 (low sharing, q=0.01)", "case 2 (moderate sharing, q=0.05)", "case 3 (high sharing, q=0.10)"}
+	for i, gs := range grids {
+		g := gs.Mean
+		g.Title = cases[i] + ":"
+		if err := g.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func printCost() {

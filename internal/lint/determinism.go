@@ -95,9 +95,18 @@ func schedulingCall(p *pkg, call *ast.CallExpr, cfg Config) (string, bool) {
 }
 
 // checkDeterminism applies the determinism analyzer to every package in
-// the kernel-reachable scope.
+// the kernel-reachable scope. Packages listed in cfg.Orchestrators are a
+// package-scope exception to exactly one rule: they may start goroutines,
+// because their job is running many complete, hermetic simulations in
+// parallel (each kernel confined to one goroutine). The exemption must
+// not leak downward, so a kernel-reachable non-orchestrator package that
+// imports an orchestrator is itself a diagnostic.
 func checkDeterminism(mod *module, cfg Config) []Diagnostic {
 	scope := kernelReachable(mod, cfg)
+	orch := make(map[string]bool, len(cfg.Orchestrators))
+	for _, o := range cfg.Orchestrators {
+		orch[o] = true
+	}
 	var diags []Diagnostic
 	report := func(pos ast.Node, p *pkg, msg string) {
 		diags = append(diags, Diagnostic{
@@ -117,10 +126,17 @@ func checkDeterminism(mod *module, cfg Config) []Diagnostic {
 					report(imp, p, fmt.Sprintf(
 						"event-kernel package %s imports %s; use the deterministic internal/rng instead", p.path, path))
 				}
+				if orch[path] && !orch[p.path] {
+					report(imp, p, fmt.Sprintf(
+						"event-kernel package %s imports orchestrator package %s: the goroutine exemption must stay above the event loop", p.path, path))
+				}
 			}
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.GoStmt:
+					if orch[p.path] {
+						return true
+					}
 					report(n, p, fmt.Sprintf(
 						"go statement in event-kernel package %s: goroutine interleaving breaks replayability", p.path))
 				case *ast.SelectorExpr:

@@ -94,6 +94,15 @@ type Config struct {
 	// prefix. Default: <module>/internal (the whole module when no
 	// internal directory exists, as in the fixtures).
 	Scope string
+	// Orchestrators lists packages that legitimately run event kernels on
+	// worker goroutines — each kernel confined to one goroutine — such as
+	// the experiment-campaign engine. The go-statement rule is waived for
+	// them as a package-scope policy (no per-line directives), and in
+	// exchange no kernel-reachable package may import them: concurrency
+	// must stay above complete simulations, never inside the event loop.
+	// Every other determinism rule (math/rand, time.Now, map-order leaks)
+	// still applies to them. Default: <module>/internal/sweep.
+	Orchestrators []string
 }
 
 func (c *Config) fill(mod *module) {
@@ -114,6 +123,9 @@ func (c *Config) fill(mod *module) {
 		if _, ok := mod.pkgs[c.SimPath]; !ok {
 			c.Scope = mod.path
 		}
+	}
+	if c.Orchestrators == nil {
+		c.Orchestrators = []string{mod.path + "/internal/sweep"}
 	}
 }
 

@@ -90,6 +90,18 @@ func TestDeterminismFixtures(t *testing.T) {
 		Scope:   "determgood",
 	}), nil)
 
+	// An undeclared orchestrator gets no exemption: the same module with
+	// an empty orchestrator list must flag orch's goroutines.
+	bad := run(t, lint.Config{
+		Dir:           fixture(t, "determorch"),
+		SimPath:       "determorch/sim",
+		Scope:         "determorch",
+		Orchestrators: []string{},
+	})
+	if len(bad) != 3 {
+		t.Errorf("undeclared orchestrator: got %d diagnostics, want 3 goroutine findings:\n%v", len(bad), bad)
+	}
+
 	expect(t, run(t, lint.Config{
 		Dir:     fixture(t, "determbad"),
 		SimPath: "determbad/sim",
@@ -100,5 +112,27 @@ func TestDeterminismFixtures(t *testing.T) {
 		"eng/eng.go:25:2: [determinism] go statement in event-kernel package determbad/eng: goroutine interleaving breaks replayability",
 		"eng/eng.go:33:9: [determinism] append inside a range over a map: iteration order leaks into the result slice",
 		"eng/eng.go:34:3: [determinism] range over a map schedules a kernel event via After: iteration order leaks into the event schedule",
+	})
+}
+
+func TestOrchestratorFixtures(t *testing.T) {
+	// A declared orchestrator may start goroutines with no per-line
+	// directives; the rest of the module stays under the full analyzer.
+	expect(t, run(t, lint.Config{
+		Dir:           fixture(t, "determorch"),
+		SimPath:       "determorch/sim",
+		Scope:         "determorch",
+		Orchestrators: []string{"determorch/orch"},
+	}), nil)
+
+	// The exemption must not leak below the kernel boundary: a
+	// kernel-reachable package importing an orchestrator is a finding.
+	expect(t, run(t, lint.Config{
+		Dir:           fixture(t, "determorchbad"),
+		SimPath:       "determorchbad/sim",
+		Scope:         "determorchbad",
+		Orchestrators: []string{"determorchbad/orch"},
+	}), []string{
+		"eng/eng.go:6:2: [determinism] event-kernel package determorchbad/eng imports orchestrator package determorchbad/orch: the goroutine exemption must stay above the event loop",
 	})
 }

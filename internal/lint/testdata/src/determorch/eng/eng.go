@@ -1,0 +1,13 @@
+// Package eng is ordinary kernel-reachable code: single-threaded,
+// deterministic, no orchestrator imports.
+package eng
+
+import "determorch/sim"
+
+// Run drives one complete simulation on the caller's goroutine.
+func Run(seed uint64) uint64 {
+	k := &sim.Kernel{}
+	k.After(int64(seed%7), func() {})
+	k.Run()
+	return seed * 2
+}

@@ -1,0 +1,3 @@
+module determorch
+
+go 1.22

@@ -1,0 +1,48 @@
+// Package orch is a campaign orchestrator: it fans complete simulations
+// out to worker goroutines, one kernel per goroutine, and re-sequences
+// the results. It is declared in Config.Orchestrators, so its go
+// statements need no per-line directives; in exchange nothing
+// kernel-reachable may import it.
+package orch
+
+import (
+	"sync"
+
+	"determorch/eng"
+)
+
+// RunAll executes one hermetic simulation per seed on workers goroutines
+// and returns the results in seed order regardless of scheduling.
+func RunAll(seeds []uint64, workers int) []uint64 {
+	type numbered struct {
+		i int
+		v uint64
+	}
+	jobs := make(chan numbered)
+	results := make(chan numbered)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- numbered{j.i, eng.Run(j.v)}
+			}
+		}()
+	}
+	go func() {
+		for i, s := range seeds {
+			jobs <- numbered{i, s}
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	out := make([]uint64, len(seeds))
+	for r := range results {
+		out[r.i] = r.v
+	}
+	return out
+}

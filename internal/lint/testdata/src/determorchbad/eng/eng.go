@@ -1,0 +1,15 @@
+// Package eng runs inside the event loop, yet imports the orchestrator:
+// the goroutine exemption would leak into kernel-reachable code.
+package eng
+
+import (
+	"determorchbad/orch"
+	"determorchbad/sim"
+)
+
+// Run schedules work and leans on the orchestrator from below.
+func Run(done chan struct{}) {
+	k := &sim.Kernel{}
+	k.After(1, func() {})
+	orch.Run(done)
+}

@@ -1,0 +1,3 @@
+module determorchbad
+
+go 1.22

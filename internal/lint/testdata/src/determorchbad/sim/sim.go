@@ -1,0 +1,8 @@
+// Package sim is a stand-in event kernel.
+package sim
+
+// Kernel is the event kernel.
+type Kernel struct{}
+
+// After schedules fn d cycles from now.
+func (k *Kernel) After(d int64, fn func()) {}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// codecGrid exercises awkward values: a comma and quote in the title,
+// non-round floats, a zero, and the largest exactly-representable mantissa.
+func codecGrid() *Grid {
+	return &Grid{
+		Title:    `overhead, "useless" commands`,
+		RowLabel: "w",
+		ColLabel: "n",
+		Rows:     []string{"0.1", "0.2"},
+		Cols:     []string{"4", "8", "16"},
+		Cells: [][]float64{
+			{0.1234567890123456, 0, math.MaxFloat64},
+			{1e-308, 34.839, 2.5},
+		},
+		Decimals: 4,
+	}
+}
+
+func TestGridCSVRoundTrip(t *testing.T) {
+	g := codecGrid()
+	var buf bytes.Buffer
+	if err := g.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGridCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadGridCSV: %v", err)
+	}
+	if !reflect.DeepEqual(g, back) {
+		t.Errorf("CSV round trip changed the grid:\n  in   %+v\n  out  %+v", g, back)
+	}
+}
+
+func TestGridJSONRoundTrip(t *testing.T) {
+	g := codecGrid()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGridJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadGridJSON: %v", err)
+	}
+	if !reflect.DeepEqual(g, back) {
+		t.Errorf("JSON round trip changed the grid:\n  in   %+v\n  out  %+v", g, back)
+	}
+	// The schema is tag-defined: a rename of Grid's Go fields must not be
+	// able to change it silently.
+	for _, key := range []string{`"title"`, `"row_label"`, `"col_label"`, `"rows"`, `"cols"`, `"cells"`, `"decimals"`} {
+		if !bytes.Contains(data, []byte(key)) {
+			t.Errorf("grid JSON lacks the %s key: %s", key, data)
+		}
+	}
+}
+
+func TestGridCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      "a,b,c\n1,2,3\n",
+		"ragged row":     "title,t\naxes,w,n,3\n,4,8\n0.1,1\n",
+		"bad cell":       "title,t\naxes,w,n,3\n,4\n0.1,xyz\n",
+		"bad decimals":   "title,t\naxes,w,n,many\n,4\n0.1,1\n",
+		"no empty first": "title,t\naxes,w,n,3\nx,4\n0.1,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGridCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadGridCSV accepted malformed input %q", name, in)
+		}
+	}
+}
+
+func TestGridJSONRejectsStructuralErrors(t *testing.T) {
+	in := `{"title":"t","row_label":"w","col_label":"n","rows":["a"],"cols":["x","y"],"cells":[[1]],"decimals":3}`
+	if _, err := ReadGridJSON(strings.NewReader(in)); err == nil {
+		t.Error("ReadGridJSON accepted a grid whose cell row is narrower than cols")
+	}
+}

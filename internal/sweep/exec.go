@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"twobit/internal/system"
+	"twobit/internal/workload"
+)
+
+// Record is one completed run: the point's coordinates plus either the
+// stable-encoded results or the simulation's error. The JSON field order
+// is fixed by this struct, and Results carries the system wire schema
+// verbatim, so a record marshals to the same bytes on every execution.
+type Record struct {
+	RunID     int             `json:"run_id"`
+	Protocol  string          `json:"protocol"`
+	Net       string          `json:"net"`
+	Q         float64         `json:"q"`
+	W         float64         `json:"w"`
+	Procs     int             `json:"procs"`
+	Replicate int             `json:"replicate"`
+	Seed      uint64          `json:"seed"`
+	Err       string          `json:"err,omitempty"`
+	Results   json.RawMessage `json:"results,omitempty"`
+}
+
+// Decode returns the run's results (an error for records of failed runs).
+func (r Record) Decode() (system.Results, error) {
+	if r.Err != "" {
+		return system.Results{}, fmt.Errorf("sweep: run %d failed: %s", r.RunID, r.Err)
+	}
+	return system.DecodeResults(r.Results)
+}
+
+// runPoint executes one hermetic simulation. A run that fails (deadlock,
+// coherence violation, invariant violation) produces a record with Err
+// set rather than aborting the campaign: the failure is itself a
+// deterministic, reportable result.
+func runPoint(p *Plan, pt Point) Record {
+	rec := Record{
+		RunID:     pt.RunID,
+		Protocol:  pt.Protocol.String(),
+		Net:       pt.Net.String(),
+		Q:         pt.Q,
+		W:         pt.W,
+		Procs:     pt.Procs,
+		Replicate: pt.Replicate,
+		Seed:      pt.Seed,
+	}
+	gen := workload.NewSharedPrivate(p.workloadConfig(pt))
+	m, err := system.New(p.Config(pt), gen)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	res, err := m.Run(p.RefsPerProc)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	enc, err := res.EncodeStable()
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Results = enc
+	return rec
+}
+
+// CheckPrefix verifies that a store's checkpointed records are a prefix
+// of this plan's expansion — the guard against resuming a store that a
+// different plan (other axes, other root seed) produced, which would
+// silently mix foreign results into the aggregate.
+func CheckPrefix(p *Plan, recs []Record) error {
+	points, err := p.Points()
+	if err != nil {
+		return err
+	}
+	if len(recs) > len(points) {
+		return fmt.Errorf("sweep: store holds %d runs but the plan expands to %d", len(recs), len(points))
+	}
+	for i, rec := range recs {
+		pt := points[i]
+		if rec.Seed != pt.Seed || rec.Protocol != pt.Protocol.String() || rec.Net != pt.Net.String() ||
+			rec.Q != pt.Q || rec.W != pt.W || rec.Procs != pt.Procs || rec.Replicate != pt.Replicate {
+			return fmt.Errorf("sweep: store record %d (%s/%s q=%g w=%g n=%d rep=%d seed=%d) was produced by a different plan: run %d expands to %s/%s q=%g w=%g n=%d rep=%d seed=%d",
+				i, rec.Protocol, rec.Net, rec.Q, rec.W, rec.Procs, rec.Replicate, rec.Seed,
+				i, pt.Protocol, pt.Net, pt.Q, pt.W, pt.Procs, pt.Replicate, pt.Seed)
+		}
+	}
+	return nil
+}
+
+// Execute runs the plan's points with ids ≥ startAt on a pool of workers
+// and hands each finished record to emit in strictly increasing run-id
+// order — the property that makes parallel output byte-identical to
+// workers=1 output. emit is called from the Execute goroutine only. A
+// non-nil error from emit aborts the campaign after the in-flight runs
+// drain.
+func Execute(p *Plan, workers, startAt int, emit func(Record) error) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	points, err := p.Points()
+	if err != nil {
+		return err
+	}
+	if startAt < 0 || startAt > len(points) {
+		return fmt.Errorf("sweep: resume offset %d outside plan of %d runs", startAt, len(points))
+	}
+	points = points[startAt:]
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if len(points) == 0 {
+		return nil
+	}
+
+	jobs := make(chan Point)
+	results := make(chan Record, workers)
+	stop := make(chan struct{}) // closed on emit error: stop feeding new runs
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range jobs {
+				results <- runPoint(p, pt)
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, pt := range points {
+			select {
+			case jobs <- pt:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Re-sequencer: workers finish out of order; hold records until the
+	// next expected id arrives, then emit the contiguous run.
+	pending := make(map[int]Record, workers)
+	next := startAt
+	var emitErr error
+	for rec := range results {
+		pending[rec.RunID] = rec
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if emitErr == nil {
+				if emitErr = emit(r); emitErr != nil {
+					close(stop)
+				}
+			}
+			next++
+		}
+	}
+	if emitErr != nil {
+		return emitErr
+	}
+	if len(pending) != 0 {
+		return fmt.Errorf("sweep: %d records never sequenced (first gap at run %d)", len(pending), next)
+	}
+	return nil
+}
+
+// Collect executes the whole plan in memory and returns the ordered
+// records — the convenience entry point for callers that do not need a
+// persistent store (cmd/tables, benchmarks, tests).
+func Collect(p *Plan, workers int) ([]Record, error) {
+	recs := make([]Record, 0, p.Size())
+	err := Execute(p, workers, 0, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,299 @@
+// Package sweep plans, executes, checkpoints and aggregates simulation
+// campaigns: the cartesian grids of (protocol × network × q × w × n)
+// configurations behind the paper's Tables 4-1/4-2 and every extension
+// experiment, scaled across worker goroutines without giving up the
+// repository's determinism guarantee.
+//
+// The contract is byte-level: executing a Plan with any number of workers
+// produces a result store identical, byte for byte, to the store a single
+// worker produces, and a campaign killed partway through converges to that
+// same store when resumed. Three properties make this work:
+//
+//   - Every run is hermetic. A run builds its own workload generator,
+//     machine and event kernel from a seed derived deterministically from
+//     the plan's root seed and the run's index (an rng.New(rootSeed,
+//     runIndex) stream), so execution order cannot leak into results.
+//
+//   - Records are re-sequenced. Workers deliver finished records over a
+//     channel in completion order; the executor buffers them and emits in
+//     run-id order, so the store layout is independent of scheduling.
+//
+//   - The store checkpoints by prefix. Records are appended to a JSON-lines
+//     file in run-id order and synced; on resume the store keeps the
+//     longest valid prefix (discarding a torn final line) and the executor
+//     skips the run ids it already holds.
+//
+// This package deliberately runs machines on multiple goroutines — each
+// machine confined to one goroutine — and is registered as an orchestrator
+// with internal/lint's determinism analyzer, which in exchange forbids any
+// kernel-reachable package from importing it.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"twobit/internal/rng"
+	"twobit/internal/sim"
+	"twobit/internal/system"
+	"twobit/internal/workload"
+)
+
+// Plan is the declarative description of a campaign: the cartesian product
+// of the axes, times Replicates seed-varied repetitions of each point.
+// The zero values of the optional fields are filled by Normalize.
+type Plan struct {
+	Name string `json:"name"`
+
+	// Axes. Points expand in nesting order protocol → net → q → w → n,
+	// with replicates innermost, so run ids are stable for a given plan.
+	Protocols []string  `json:"protocols"`
+	Nets      []string  `json:"nets,omitempty"` // default ["crossbar"]
+	Qs        []float64 `json:"qs"`             // P(reference is shared)
+	Ws        []float64 `json:"ws"`             // P(shared reference writes)
+	Procs     []int     `json:"procs"`          // n values
+
+	Replicates  int    `json:"replicates,omitempty"`    // default 1
+	RefsPerProc int    `json:"refs_per_proc,omitempty"` // default 2000
+	RootSeed    uint64 `json:"root_seed,omitempty"`     // default 1
+
+	// Machine shape (0 → system.DefaultConfig's value).
+	Modules           int `json:"modules,omitempty"`
+	CacheSets         int `json:"cache_sets,omitempty"`
+	CacheAssoc        int `json:"cache_assoc,omitempty"`
+	NetLatency        int `json:"net_latency,omitempty"`
+	NetJitter         int `json:"net_jitter,omitempty"`
+	TranslationBuffer int `json:"translation_buffer,omitempty"`
+
+	// Workload shape (§4.2 merged-stream generator).
+	SharedBlocks int     `json:"shared_blocks,omitempty"` // default 16
+	PrivateHit   float64 `json:"private_hit,omitempty"`   // default 0.9
+	PrivateWrite float64 `json:"private_write,omitempty"` // default 0.3
+	HotBlocks    int     `json:"hot_blocks,omitempty"`    // default 64
+	ColdBlocks   int     `json:"cold_blocks,omitempty"`   // default 512
+
+	// NoOracle disables the per-run linearizability checker; the default
+	// is checking on, so every campaign doubles as a correctness sweep.
+	NoOracle bool `json:"no_oracle,omitempty"`
+}
+
+// Point is one expanded run of a plan.
+type Point struct {
+	RunID     int
+	Protocol  system.Protocol
+	Net       system.NetKind
+	Q, W      float64
+	Procs     int
+	Replicate int
+	// Seed drives both the workload generator and the machine; it is the
+	// first draw of the rng.New(RootSeed, RunID) stream.
+	Seed uint64
+}
+
+// Normalize fills defaulted fields in place.
+func (p *Plan) Normalize() {
+	if len(p.Nets) == 0 {
+		p.Nets = []string{system.CrossbarNet.String()}
+	}
+	if p.Replicates == 0 {
+		p.Replicates = 1
+	}
+	if p.RefsPerProc == 0 {
+		p.RefsPerProc = 2000
+	}
+	if p.RootSeed == 0 {
+		p.RootSeed = 1
+	}
+	if p.SharedBlocks == 0 {
+		p.SharedBlocks = 16
+	}
+	if p.PrivateHit == 0 {
+		p.PrivateHit = 0.9
+	}
+	if p.PrivateWrite == 0 {
+		p.PrivateWrite = 0.3
+	}
+	if p.HotBlocks == 0 {
+		p.HotBlocks = 64
+	}
+	if p.ColdBlocks == 0 {
+		p.ColdBlocks = 512
+	}
+}
+
+// Validate reports the first configuration error in the plan, expanding
+// every point and validating its machine configuration.
+func (p *Plan) Validate() error {
+	for _, axis := range []struct {
+		name string
+		n    int
+	}{
+		{"protocols", len(p.Protocols)},
+		{"qs", len(p.Qs)},
+		{"ws", len(p.Ws)},
+		{"procs", len(p.Procs)},
+	} {
+		if axis.n == 0 {
+			return fmt.Errorf("sweep: plan %q has an empty %s axis", p.Name, axis.name)
+		}
+	}
+	if p.Replicates < 1 {
+		return fmt.Errorf("sweep: plan %q: replicates must be ≥ 1, got %d", p.Name, p.Replicates)
+	}
+	if p.RefsPerProc < 1 {
+		return fmt.Errorf("sweep: plan %q: refs_per_proc must be ≥ 1, got %d", p.Name, p.RefsPerProc)
+	}
+	for _, s := range p.Protocols {
+		if _, err := system.ParseProtocol(s); err != nil {
+			return fmt.Errorf("sweep: plan %q: %w", p.Name, err)
+		}
+	}
+	for _, s := range p.Nets {
+		if _, err := system.ParseNetKind(s); err != nil {
+			return fmt.Errorf("sweep: plan %q: %w", p.Name, err)
+		}
+	}
+	points, err := p.Points()
+	if err != nil {
+		return err
+	}
+	for _, pt := range points {
+		if err := p.Config(pt).Validate(); err != nil {
+			return fmt.Errorf("sweep: plan %q run %d: %w", p.Name, pt.RunID, err)
+		}
+		if err := p.workloadConfig(pt).Validate(); err != nil {
+			return fmt.Errorf("sweep: plan %q run %d: %w", p.Name, pt.RunID, err)
+		}
+	}
+	return nil
+}
+
+// Size returns the number of runs the plan expands to.
+func (p *Plan) Size() int {
+	return len(p.Protocols) * len(p.Nets) * len(p.Qs) * len(p.Ws) * len(p.Procs) * p.Replicates
+}
+
+// Points expands the plan into its runs, in run-id order.
+func (p *Plan) Points() ([]Point, error) {
+	points := make([]Point, 0, p.Size())
+	id := 0
+	for _, ps := range p.Protocols {
+		protocol, err := system.ParseProtocol(ps)
+		if err != nil {
+			return nil, err
+		}
+		for _, ns := range p.Nets {
+			net, err := system.ParseNetKind(ns)
+			if err != nil {
+				return nil, err
+			}
+			for _, q := range p.Qs {
+				for _, w := range p.Ws {
+					for _, n := range p.Procs {
+						for r := 0; r < p.Replicates; r++ {
+							points = append(points, Point{
+								RunID:     id,
+								Protocol:  protocol,
+								Net:       net,
+								Q:         q,
+								W:         w,
+								Procs:     n,
+								Replicate: r,
+								Seed:      rng.New(p.RootSeed, uint64(id)).Uint64(),
+							})
+							id++
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// Config builds the machine configuration for one point. Protocols with
+// structural requirements are adjusted the way the benchmark harness does:
+// duplication centralizes to one module, write-once forces the bus.
+func (p *Plan) Config(pt Point) system.Config {
+	cfg := system.DefaultConfig(pt.Protocol, pt.Procs)
+	if p.Modules > 0 {
+		cfg.Modules = p.Modules
+	}
+	if p.CacheSets > 0 {
+		cfg.CacheSets = p.CacheSets
+	}
+	if p.CacheAssoc > 0 {
+		cfg.CacheAssoc = p.CacheAssoc
+	}
+	if p.NetLatency > 0 {
+		cfg.NetLatency = sim.Time(p.NetLatency)
+	}
+	cfg.NetJitter = sim.Time(p.NetJitter)
+	cfg.TranslationBufferSize = p.TranslationBuffer
+	cfg.Net = pt.Net
+	cfg.Seed = pt.Seed
+	cfg.Oracle = !p.NoOracle
+	if pt.Protocol == system.Duplication {
+		cfg.Modules = 1
+	}
+	if pt.Protocol == system.WriteOnce {
+		cfg.Net = system.BusNet
+	}
+	return cfg
+}
+
+// workloadConfig builds the generator parameters for one point.
+func (p *Plan) workloadConfig(pt Point) workload.SharedPrivateConfig {
+	return workload.SharedPrivateConfig{
+		Procs:        pt.Procs,
+		SharedBlocks: p.SharedBlocks,
+		Q:            pt.Q,
+		W:            pt.W,
+		PrivateHit:   p.PrivateHit,
+		PrivateWrite: p.PrivateWrite,
+		HotBlocks:    p.HotBlocks,
+		ColdBlocks:   p.ColdBlocks,
+		Seed:         pt.Seed,
+	}
+}
+
+// ReadPlan parses, normalizes and validates a JSON plan.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("sweep: parsing plan: %w", err)
+	}
+	p.Normalize()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MarshalIndent renders the plan as indented JSON (the plan file format).
+func (p *Plan) MarshalIndent() ([]byte, error) {
+	out, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sweep: encoding plan: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// ExamplePlan returns a small, valid plan documenting the format.
+func ExamplePlan() *Plan {
+	p := &Plan{
+		Name:        "example",
+		Protocols:   []string{system.TwoBit.String(), system.FullMap.String()},
+		Qs:          []float64{0.05, 0.10},
+		Ws:          []float64{0.2, 0.3},
+		Procs:       []int{4, 8},
+		Replicates:  2,
+		RefsPerProc: 1000,
+		RootSeed:    7,
+	}
+	p.Normalize()
+	return p
+}

@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Store is the JSON-lines result store: one Record per line, in run-id
+// order, appended and synced as runs complete. The sync-per-record is the
+// checkpoint: after a crash the file holds a valid prefix of the campaign
+// plus at most one torn line, which Open(path, resume=true) truncates
+// away. Because records are emitted in run-id order, "the completed runs"
+// is always exactly the ids 0..Next()-1, so resumption is a single offset.
+type Store struct {
+	path string
+	f    *os.File
+	next int
+}
+
+// Open creates (resume=false) or reopens (resume=true) a store. On resume
+// the file is scanned, the longest valid prefix of sequential records is
+// kept, anything after it is truncated, and appends continue from there.
+func Open(path string, resume bool) (*Store, error) {
+	if !resume {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: creating store: %w", err)
+		}
+		return &Store{path: path, f: f}, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening store: %w", err)
+	}
+	valid, count, err := validPrefix(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: truncating torn checkpoint: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sweep: seeking to checkpoint: %w", err)
+	}
+	return &Store{path: path, f: f, next: count}, nil
+}
+
+// validPrefix scans the store and returns the byte length and record
+// count of the longest prefix of complete, parseable, sequentially
+// numbered lines. A torn final line (no trailing newline, or unparseable)
+// ends the prefix; a parseable line with the wrong run id is corruption
+// and errors out, because silently dropping interior records would let a
+// resumed campaign diverge.
+func validPrefix(f *os.File) (bytes64 int64, count int, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("sweep: seeking store: %w", err)
+	}
+	r := bufio.NewReader(f)
+	var offset int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: a torn final line, end of prefix.
+			return offset, count, nil
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("sweep: scanning store: %w", err)
+		}
+		var rec struct {
+			RunID *int `json:"run_id"`
+		}
+		if json.Unmarshal(bytes.TrimSpace(line), &rec) != nil || rec.RunID == nil {
+			// Torn or garbage line: end of prefix.
+			return offset, count, nil
+		}
+		if *rec.RunID != count {
+			return 0, 0, fmt.Errorf("sweep: store %s is corrupt: line %d holds run %d",
+				f.Name(), count, *rec.RunID)
+		}
+		offset += int64(len(line))
+		count++
+	}
+}
+
+// Next returns the id of the next record the store expects — equivalently
+// the number of completed runs it holds.
+func (s *Store) Next() int { return s.next }
+
+// Append checkpoints one record. Records must arrive in run-id order;
+// Execute guarantees this.
+func (s *Store) Append(rec Record) error {
+	if rec.RunID != s.next {
+		return fmt.Errorf("sweep: store expects run %d, got %d", s.next, rec.RunID)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding record %d: %w", rec.RunID, err)
+	}
+	line = append(line, '\n')
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("sweep: appending record %d: %w", rec.RunID, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: syncing record %d: %w", rec.RunID, err)
+	}
+	s.next++
+	return nil
+}
+
+// Close closes the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// ReadRecords parses a complete store stream into ordered records,
+// verifying the run-id sequence.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("sweep: record %d: %w", len(recs), err)
+		}
+		if rec.RunID != len(recs) {
+			return nil, fmt.Errorf("sweep: record %d is out of sequence (run id %d)", len(recs), rec.RunID)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: reading store: %w", err)
+	}
+	return recs, nil
+}
+
+// LoadStore reads all records from a store file.
+func LoadStore(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening store: %w", err)
+	}
+	defer f.Close()
+	return ReadRecords(f)
+}

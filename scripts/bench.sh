@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench.sh — run the sweep-engine throughput benchmark and archive a
+# machine-readable baseline in BENCH_sweep.json: complete simulation runs
+# per second at workers = 1, 2, 4, 8. The engine's output is
+# byte-identical at every width, so the curve is the parallel speedup of
+# the experiment-orchestration subsystem.
+#
+#   scripts/bench.sh [benchtime]     # default 2x
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2x}"
+OUT=BENCH_sweep.json
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "==> go test -bench BenchmarkSweep -benchtime $BENCHTIME"
+go test -run '^$' -bench '^BenchmarkSweep$' -benchtime "$BENCHTIME" . | tee "$RAW"
+
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+awk -v commit="$COMMIT" -v date="$DATE" '
+/^BenchmarkSweep\/workers=/ {
+    split($1, parts, "=")
+    split(parts[2], w, "-")
+    for (i = 2; i <= NF; i++) {
+        if ($i == "runs/s") { rate[w[1]] = $(i - 1); order[++n] = w[1] }
+    }
+}
+END {
+    if (n == 0) { print "bench.sh: no runs/s metrics parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmark\": \"BenchmarkSweep\",\n"
+    printf "  \"metric\": \"runs_per_second\",\n"
+    printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+    printf "  \"workers\": {\n"
+    for (i = 1; i <= n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], rate[order[i]], (i < n ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "==> wrote $OUT"
+cat "$OUT"

@@ -1,8 +1,11 @@
 #!/bin/sh
 # check.sh — the full verification gauntlet, in increasing cost order:
-# compile, vet, coherencelint (static protocol analysis), then the test
-# suite under the race detector. Everything must pass for a change to
-# land.
+# compile, vet, coherencelint (static protocol analysis), the test suite
+# under the race detector, then a sweep smoke stage that exercises the
+# experiment-orchestration engine end to end: a tiny campaign must produce
+# byte-identical stores at workers=1 and workers=4, and a store truncated
+# to half must converge to those same bytes under -resume. Everything
+# must pass for a change to land.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,5 +21,35 @@ go run ./cmd/coherencelint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> sweep smoke (determinism + resume)"
+SMOKE="$(mktemp -d)"
+trap 'rm -rf "$SMOKE"' EXIT
+cat > "$SMOKE/plan.json" <<'EOF'
+{
+  "name": "smoke",
+  "protocols": ["two-bit", "full-map"],
+  "qs": [0.05, 0.10],
+  "ws": [0.3],
+  "procs": [4],
+  "replicates": 2,
+  "refs_per_proc": 300,
+  "root_seed": 11
+}
+EOF
+go run ./cmd/sweep -plan "$SMOKE/plan.json" -workers 1 -out "$SMOKE/w1.jsonl" -quiet > /dev/null
+go run ./cmd/sweep -plan "$SMOKE/plan.json" -workers 4 -out "$SMOKE/w4.jsonl" -quiet > /dev/null
+cmp "$SMOKE/w1.jsonl" "$SMOKE/w4.jsonl" || {
+    echo "check.sh: workers=1 and workers=4 stores differ" >&2
+    exit 1
+}
+# Simulate a killed campaign: keep the first half of the store, resume it.
+LINES="$(wc -l < "$SMOKE/w1.jsonl")"
+head -n "$((LINES / 2))" "$SMOKE/w1.jsonl" > "$SMOKE/half.jsonl"
+go run ./cmd/sweep -plan "$SMOKE/plan.json" -workers 4 -out "$SMOKE/half.jsonl" -resume -quiet > /dev/null
+cmp "$SMOKE/w1.jsonl" "$SMOKE/half.jsonl" || {
+    echo "check.sh: resumed store does not converge to the serial store" >&2
+    exit 1
+}
 
 echo "OK"
