@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"twobit/internal/obs"
 	"twobit/internal/proto"
 	"twobit/internal/sim"
 	"twobit/internal/sweep"
@@ -423,4 +424,72 @@ func BenchmarkModelCheck(b *testing.B) {
 		paths += res.Paths
 	}
 	b.ReportMetric(float64(paths)/b.Elapsed().Seconds(), "paths/s")
+}
+
+// benchObsSink keeps the compiler from eliding the instrumentation body.
+var benchObsSink uint64
+
+// obsBenchBody is the shared loop for the disabled/enabled pair: one
+// "reference" worth of instrumentation — a span, a counter bump, two
+// histogram observations, an async transaction, and an instant — against
+// whatever recorder it is handed.
+func obsBenchBody(b *testing.B, rec *obs.Recorder) {
+	comp := rec.Component("cache0")
+	refs := rec.Counter("cache0/refs")
+	lat := rec.Histogram("cache0/lat", 4)
+	depth := rec.Histogram("ctrl0/queue_depth", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := uint64(i)
+		refs.Inc()
+		rec.Begin(comp, "ref read", int64(i&1023))
+		lat.Observe(v & 63)
+		depth.Observe(v & 7)
+		rec.AsyncBegin(comp, "txn READ", int64(i&1023))
+		rec.Emit(comp, "dir to Present1", int64(i&1023), 0)
+		rec.AsyncEnd(comp, "txn READ", int64(i&1023))
+		rec.End(comp, "ref read", int64(i&1023))
+		benchObsSink += refs.Value()
+	}
+}
+
+// BenchmarkObsDisabled (E-obs) measures the price of instrumentation
+// that is compiled in but switched off: every call must dissolve into a
+// nil check. The scripts/check.sh gate fails the build if this path
+// allocates; the ns/op floor is the per-reference overhead an
+// uninstrumented simulation pays for carrying the hooks.
+func BenchmarkObsDisabled(b *testing.B) {
+	obsBenchBody(b, nil)
+}
+
+// BenchmarkObsEnabled is the same body against a live recorder with a
+// 4K-event ring: the marginal cost of actually measuring.
+func BenchmarkObsEnabled(b *testing.B) {
+	obsBenchBody(b, obs.New(1<<12))
+}
+
+// BenchmarkObsMachine runs the same machine with recording off and on,
+// reporting whole-run cycles/s for each, so the end-to-end overhead of
+// the observability layer is tracked where it matters — not just in the
+// microbenchmark above.
+func BenchmarkObsMachine(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run("obs="+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig(TwoBit, 4)
+				cfg.Oracle = false
+				if on {
+					cfg.Obs = obs.New(1 << 12)
+				}
+				res := benchRun(b, cfg, benchGen(4, 0.1, 0.3, 7), 2000)
+				benchObsSink += res.Refs
+			}
+		})
+	}
 }

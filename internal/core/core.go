@@ -32,9 +32,35 @@ import (
 	"twobit/internal/memory"
 	"twobit/internal/msg"
 	"twobit/internal/network"
+	"twobit/internal/obs"
 	"twobit/internal/proto"
 	"twobit/internal/sim"
 )
+
+// txnNames holds the static async-span name per command kind
+// ("txn Request", ...), precomputed so begin() never builds strings.
+var txnNames [64]string
+
+// stateEventNames names the instant emitted on each directory
+// transition, indexed by the destination state. The metric slugs in
+// stateCounterSuffix match: directory.State.String uses "Present*",
+// which is hostile to metric-name tooling.
+var stateEventNames = [4]string{"dir to Absent", "dir to Present1", "dir to Present*", "dir to PresentM"}
+
+var stateCounterSuffix = [4]string{"dir_to_absent", "dir_to_present1", "dir_to_present_star", "dir_to_present_m"}
+
+func init() {
+	for k := range txnNames {
+		txnNames[k] = "txn " + msg.Kind(k).String()
+	}
+}
+
+func txnName(k msg.Kind) string {
+	if int(k) < len(txnNames) {
+		return txnNames[k]
+	}
+	return "txn"
+}
 
 // Config configures one two-bit memory controller.
 type Config struct {
@@ -48,6 +74,9 @@ type Config struct {
 	// Commit is the oracle hook for writes that linearize at the
 	// controller (uncached I/O); may be nil.
 	Commit proto.CommitFunc
+	// Obs is the observability recorder; nil leaves the controller
+	// uninstrumented at zero cost.
+	Obs *obs.Recorder
 }
 
 // Controller is the two-bit memory controller K_j of Figure 3-1.
@@ -69,8 +98,21 @@ type Controller struct {
 	// awaitingAck holds, per block, the continuation of an MREQUEST grant
 	// awaiting the cache's MACK.
 	awaitingAck map[addr.Block]func(ok bool)
-	// activeSince times each open transaction for occupancy accounting.
-	activeSince map[addr.Block]sim.Time
+	// activeSince times each open transaction for occupancy accounting
+	// (and names it, so the async trace span closes under its own name).
+	activeSince map[addr.Block]txnStart
+
+	rec           *obs.Recorder
+	comp          obs.Component   // "ctrl<j>" trace track
+	obsQueue      *obs.Histogram  // "ctrl<j>/queue_depth" at submit
+	obsTxn        *obs.Histogram  // "ctrl<j>/txn_cycles" begin → done
+	obsBroadcasts *obs.Counter    // "ctrl<j>/broadcasts"
+	obsStateTo    [4]*obs.Counter // "ctrl<j>/dir_to_*" transition counts
+}
+
+type txnStart struct {
+	at   sim.Time
+	name string
 }
 
 type stashedPut struct {
@@ -95,7 +137,19 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 		waiting:     make(map[addr.Block]func(int, uint64)),
 		stashed:     make(map[addr.Block][]stashedPut),
 		awaitingAck: make(map[addr.Block]func(bool)),
-		activeSince: make(map[addr.Block]sim.Time),
+		activeSince: make(map[addr.Block]txnStart),
+		comp:        obs.NoComponent,
+	}
+	if cfg.Obs != nil {
+		c.rec = cfg.Obs
+		prefix := fmt.Sprintf("ctrl%d", cfg.Module)
+		c.comp = cfg.Obs.Component(prefix)
+		c.obsQueue = cfg.Obs.Histogram(prefix+"/queue_depth", 1)
+		c.obsTxn = cfg.Obs.Histogram(prefix+"/txn_cycles", 16)
+		c.obsBroadcasts = cfg.Obs.Counter(prefix + "/broadcasts")
+		for s := range c.obsStateTo {
+			c.obsStateTo[s] = cfg.Obs.Counter(prefix + "/" + stateCounterSuffix[s])
+		}
 	}
 	if cfg.TranslationBufferSize > 0 {
 		c.tb = directory.NewTranslationBuffer(cfg.TranslationBufferSize)
@@ -128,6 +182,12 @@ func (c *Controller) node() network.NodeID { return c.cfg.Topo.CtrlNode(c.cfg.Mo
 func (c *Controller) local(b addr.Block) int { return c.cfg.Space.LocalIndex(b) }
 
 func (c *Controller) setState(b addr.Block, s directory.State) {
+	if c.rec != nil {
+		if old := c.dir.Get(c.local(b)); old != s {
+			c.obsStateTo[s].Inc()
+			c.rec.Emit(c.comp, stateEventNames[s], int64(b), int64(old))
+		}
+	}
 	c.dir.Set(c.local(b), s)
 }
 
@@ -168,6 +228,7 @@ func (c *Controller) Deliver(src network.NodeID, m msg.Message) {
 func (c *Controller) submit(src network.NodeID, m msg.Message) {
 	c.ser.Submit(proto.Pending{Src: src, M: m})
 	c.stats.NoteQueue(c.ser.QueuedLen())
+	c.obsQueue.Observe(uint64(c.ser.QueuedLen()))
 }
 
 // handlePut routes a data transfer to the transaction awaiting it, or
@@ -188,7 +249,11 @@ func (c *Controller) handlePut(m msg.Message) {
 
 // begin starts servicing one command after the controller service time.
 func (c *Controller) begin(p proto.Pending) {
-	c.activeSince[p.M.Block] = c.kernel.Now()
+	start := txnStart{at: c.kernel.Now(), name: txnName(p.M.Kind)}
+	c.activeSince[p.M.Block] = start
+	if c.rec != nil {
+		c.rec.AsyncBegin(c.comp, start.name, int64(p.M.Block))
+	}
 	c.kernel.After(c.cfg.Lat.CtrlService, func() { c.service(p) })
 }
 
@@ -441,6 +506,7 @@ func (c *Controller) invalidate(a addr.Block, k int) {
 		}
 	} else {
 		c.stats.Broadcasts.Inc()
+		c.obsBroadcasts.Inc()
 		c.net.Broadcast(c.node(), msg.Message{Kind: msg.KindBroadInv, Block: a, Cache: k},
 			c.broadcastExcept(k)...)
 	}
@@ -485,6 +551,7 @@ func (c *Controller) query(a addr.Block, rw msg.RW, k int, onData func(owner int
 			c.tbDrop(a)
 		}
 		c.stats.Broadcasts.Inc()
+		c.obsBroadcasts.Inc()
 		c.net.Broadcast(c.node(), msg.Message{Kind: msg.KindBroadQuery, Block: a, RW: rw, Cache: k},
 			c.broadcastExcept(k)...)
 	}
@@ -512,8 +579,13 @@ func (c *Controller) await(a addr.Block, onData func(owner int, data uint64)) {
 
 // done completes the active transaction on block a.
 func (c *Controller) done(a addr.Block) {
-	if since, ok := c.activeSince[a]; ok {
-		c.stats.BusyCycles.Add(uint64(c.kernel.Now() - since))
+	if start, ok := c.activeSince[a]; ok {
+		busy := uint64(c.kernel.Now() - start.at)
+		c.stats.BusyCycles.Add(busy)
+		c.obsTxn.Observe(busy)
+		if c.rec != nil {
+			c.rec.AsyncEnd(c.comp, start.name, int64(a))
+		}
 		delete(c.activeSince, a)
 	}
 	c.ser.Done(a)

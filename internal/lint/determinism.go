@@ -144,6 +144,17 @@ func checkDeterminism(mod *module, cfg Config) []Diagnostic {
 						obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Now" {
 						report(n, p, "time.Now in event-kernel package: simulated time must come from the kernel clock")
 					}
+				case *ast.CallExpr:
+					// The observability package is held to a stricter
+					// standard than the rest of the scope: any scheduling
+					// call at all breaks its passivity contract, not just
+					// one inside a map range.
+					if p.path == cfg.ObsPath {
+						if what, ok := schedulingCall(p, n, cfg); ok {
+							report(n, p, fmt.Sprintf(
+								"observability package %s must stay passive but %s", p.path, what))
+						}
+					}
 				case *ast.RangeStmt:
 					tv, ok := p.info.Types[n.X]
 					if !ok {

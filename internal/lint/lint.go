@@ -21,7 +21,10 @@
 //     packages depend on) must not call time.Now, import math/rand,
 //     start goroutines, or range over a map while scheduling events or
 //     appending to slices in the loop body — the leaks that would make
-//     two runs of the same seed diverge.
+//     two runs of the same seed diverge. The observability package is
+//     held to a stricter passivity rule: it may read the kernel clock
+//     but any scheduling call at all is a finding, so instruments can
+//     never perturb the event schedule they measure.
 //
 // A finding can be suppressed only by an explicit escape hatch on the
 // offending line (or the line above):
@@ -90,6 +93,13 @@ type Config struct {
 	// NetPath is the network package whose Send/Broadcast methods count
 	// as event scheduling. Default: <module>/internal/network.
 	NetPath string
+	// ObsPath is the observability package, which must stay passive: it
+	// may read the kernel clock but must never schedule events or send
+	// messages, anywhere — not just inside map ranges — because an
+	// instrument that perturbs the event schedule silently invalidates
+	// the "recording off ≡ recording on" guarantee the test suite pins.
+	// Default: <module>/internal/obs.
+	ObsPath string
 	// Scope restricts the determinism analyzer to import paths with this
 	// prefix. Default: <module>/internal (the whole module when no
 	// internal directory exists, as in the fixtures).
@@ -118,6 +128,7 @@ func (c *Config) fill(mod *module) {
 	def(&c.MemIface, "MemSide")
 	def(&c.SimPath, mod.path+"/internal/sim")
 	def(&c.NetPath, mod.path+"/internal/network")
+	def(&c.ObsPath, mod.path+"/internal/obs")
 	if c.Scope == "" {
 		c.Scope = mod.path + "/internal"
 		if _, ok := mod.pkgs[c.SimPath]; !ok {

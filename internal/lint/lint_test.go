@@ -115,6 +115,20 @@ func TestDeterminismFixtures(t *testing.T) {
 	})
 }
 
+func TestObsPassivityFixture(t *testing.T) {
+	// The observability package may read the clock but must never
+	// schedule: a bare kernel.After call — outside any map range — is a
+	// finding there and only there.
+	expect(t, run(t, lint.Config{
+		Dir:     fixture(t, "determobs"),
+		SimPath: "determobs/sim",
+		ObsPath: "determobs/obs",
+		Scope:   "determobs",
+	}), []string{
+		"obs/obs.go:21:2: [determinism] observability package determobs/obs must stay passive but schedules a kernel event via After",
+	})
+}
+
 func TestOrchestratorFixtures(t *testing.T) {
 	// A declared orchestrator may start goroutines with no per-line
 	// directives; the rest of the module stays under the full analyzer.

@@ -1,0 +1,3 @@
+module determobs
+
+go 1.22

@@ -1,0 +1,14 @@
+// Package sim is a stand-in event kernel for the obs-passivity fixture.
+package sim
+
+// Kernel is the event kernel.
+type Kernel struct{}
+
+// At schedules fn at absolute time t.
+func (k *Kernel) At(t int64, fn func()) {}
+
+// After schedules fn d cycles from now.
+func (k *Kernel) After(d int64, fn func()) {}
+
+// Now reads the clock; observers may call this freely.
+func (k *Kernel) Now() int64 { return 0 }

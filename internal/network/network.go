@@ -23,10 +23,29 @@ import (
 	"fmt"
 
 	"twobit/internal/msg"
+	"twobit/internal/obs"
 	"twobit/internal/rng"
 	"twobit/internal/sim"
 	"twobit/internal/stats"
 )
+
+// deliverNames holds the static span name for each message kind
+// ("deliver Request", ...), precomputed so the delivery hot path never
+// concatenates strings.
+var deliverNames [64]string
+
+func init() {
+	for k := range deliverNames {
+		deliverNames[k] = "deliver " + msg.Kind(k).String()
+	}
+}
+
+func deliverName(k msg.Kind) string {
+	if int(k) < len(deliverNames) {
+		return deliverNames[k]
+	}
+	return "deliver"
+}
 
 // NodeID identifies an attached component (cache or memory controller).
 type NodeID int
@@ -55,6 +74,11 @@ type Network interface {
 	Broadcast(src NodeID, m msg.Message, except ...NodeID) int
 	// Stats returns the network's traffic counters.
 	Stats() *Stats
+	// Observe attaches an observability recorder. names maps a node id
+	// to its track name (the system layer knows the topology; the
+	// network does not). A nil recorder is legal and leaves the network
+	// uninstrumented; Observe must be called before traffic flows.
+	Observe(rec *obs.Recorder, names func(NodeID) string)
 }
 
 // Stats counts network traffic. ControlMessages vs DataMessages follow
@@ -84,6 +108,13 @@ type base struct {
 	handlers map[NodeID]Handler
 	order    []NodeID // attachment order, for deterministic broadcast fan-out
 	stats    Stats
+
+	// Observability (all nil/empty when no recorder is attached).
+	rec       *obs.Recorder
+	nameFn    func(NodeID) string
+	track     []obs.Component // NodeID → trace track, NoComponent when unmapped
+	obsSends  *obs.Counter    // "net/sends"
+	obsFanout *obs.Histogram  // "net/broadcast_fanout"
 }
 
 func newBase(k *sim.Kernel) base {
@@ -99,9 +130,69 @@ func (b *base) Attach(id NodeID, h Handler) {
 	}
 	b.handlers[id] = h
 	b.order = append(b.order, id)
+	if b.rec != nil {
+		b.trackFor(id)
+	}
 }
 
 func (b *base) Stats() *Stats { return &b.stats }
+
+// Observe implements Network.
+func (b *base) Observe(rec *obs.Recorder, names func(NodeID) string) {
+	if rec == nil {
+		return
+	}
+	b.rec = rec
+	b.nameFn = names
+	b.obsSends = rec.Counter("net/sends")
+	b.obsFanout = rec.Histogram("net/broadcast_fanout", 1)
+	for _, id := range b.order {
+		b.trackFor(id)
+	}
+}
+
+// trackFor resolves (registering on first use) the trace track of a
+// node, deduped by name with any track the node's own agent registered.
+func (b *base) trackFor(id NodeID) obs.Component {
+	for int(id) >= len(b.track) {
+		b.track = append(b.track, obs.NoComponent)
+	}
+	if b.track[id] == obs.NoComponent {
+		name := fmt.Sprintf("node%d", id)
+		if b.nameFn != nil {
+			name = b.nameFn(id)
+		}
+		b.track[id] = b.rec.Component(name)
+	}
+	return b.track[id]
+}
+
+// deliver counts one message and returns the delivery action to
+// schedule. With a recorder attached the action is wrapped in a span on
+// the destination's track, so handler dispatch shows up as occupancy in
+// the exported trace; without one it is the plain closure the network
+// always scheduled.
+func (b *base) deliver(src, dst NodeID, h Handler, m msg.Message) func() {
+	b.stats.count(m)
+	if b.rec == nil {
+		return func() { h.Deliver(src, m) }
+	}
+	b.obsSends.Inc()
+	comp := b.trackFor(dst)
+	name := deliverName(m.Kind)
+	block := int64(m.Block)
+	rec := b.rec
+	return func() {
+		rec.Begin(comp, name, block)
+		h.Deliver(src, m)
+		rec.End(comp, name, block)
+	}
+}
+
+// noteBroadcast records one broadcast operation's fan-out.
+func (b *base) noteBroadcast(n int) {
+	b.obsFanout.Observe(uint64(n))
+}
 
 func (b *base) handler(id NodeID) Handler {
 	h, ok := b.handlers[id]
@@ -170,8 +261,7 @@ func (c *Crossbar) Send(src, dst NodeID, m msg.Message) {
 		at = prev
 	}
 	c.lastAt[key] = at
-	c.stats.count(m)
-	c.kernel.At(at, func() { h.Deliver(src, m) })
+	c.kernel.At(at, c.deliver(src, dst, h, m))
 }
 
 // Broadcast implements Network: one message per destination (no hardware
@@ -187,6 +277,7 @@ func (c *Crossbar) Broadcast(src NodeID, m msg.Message, except ...NodeID) int {
 		c.stats.BroadcastCopies.Inc()
 		n++
 	}
+	c.noteBroadcast(n)
 	return n
 }
 
@@ -228,8 +319,7 @@ func (b *Bus) acquire() sim.Time {
 func (b *Bus) Send(src, dst NodeID, m msg.Message) {
 	h := b.handler(dst)
 	at := b.acquire()
-	b.stats.count(m)
-	b.kernel.At(at, func() { h.Deliver(src, m) })
+	b.kernel.At(at, b.deliver(src, dst, h, m))
 }
 
 // Broadcast implements Network: one bus transaction, snooped by everyone.
@@ -242,11 +332,11 @@ func (b *Bus) Broadcast(src NodeID, m msg.Message, except ...NodeID) int {
 			continue
 		}
 		h := b.handlers[id]
-		b.stats.count(m)
 		b.stats.BroadcastCopies.Inc()
-		b.kernel.At(at, func() { h.Deliver(src, m) })
+		b.kernel.At(at, b.deliver(src, id, h, m))
 		n++
 	}
+	b.noteBroadcast(n)
 	return n
 }
 
@@ -332,8 +422,7 @@ func (o *Omega) route(src, dst NodeID) sim.Time {
 func (o *Omega) Send(src, dst NodeID, m msg.Message) {
 	h := o.handler(dst)
 	at := o.route(src, dst)
-	o.stats.count(m)
-	o.kernel.At(at, func() { h.Deliver(src, m) })
+	o.kernel.At(at, o.deliver(src, dst, h, m))
 }
 
 // Broadcast implements Network: no hardware broadcast; one routed message
@@ -349,5 +438,6 @@ func (o *Omega) Broadcast(src NodeID, m msg.Message, except ...NodeID) int {
 		o.stats.BroadcastCopies.Inc()
 		n++
 	}
+	o.noteBroadcast(n)
 	return n
 }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"twobit/internal/sim"
+)
+
+// Filter selects which recorded events an export keeps. The zero Filter
+// keeps everything.
+type Filter struct {
+	// Components keeps only events from these track names; empty keeps
+	// all tracks.
+	Components []string
+	// HasBlock/Block keep only events whose Block (or async id) equals
+	// Block. HasBlock distinguishes "no filter" from "block 0".
+	HasBlock bool
+	Block    int64
+	// From/To keep only events with From ≤ Tick ≤ To; To = 0 means
+	// unbounded above.
+	From sim.Time
+	To   sim.Time
+}
+
+func (f Filter) keepTick(tick sim.Time) bool {
+	if tick < f.From {
+		return false
+	}
+	if f.To != 0 && tick > f.To {
+		return false
+	}
+	return true
+}
+
+func (f Filter) keepBlock(block int64) bool {
+	return !f.HasBlock || block == f.Block
+}
+
+// WriteChromeTrace exports the recorder's events matching f as Chrome
+// trace_event JSON (the "JSON Array Format" with a traceEvents wrapper),
+// loadable in chrome://tracing and Perfetto. Each component becomes a
+// thread of pid 1, named and ordered via metadata events; sync spans map
+// to "B"/"E", async transactions to "b"/"e" with category "txn" and the
+// block as id, instants to "i" with thread scope. One sim cycle is
+// exported as one microsecond (the viewer's native unit).
+//
+// The output is written with fixed formatting (no map iteration, no
+// float formatting) so identical recordings export to identical bytes —
+// the property the golden-trace test pins.
+func WriteChromeTrace(w io.Writer, r *Recorder, f Filter) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	keep := make([]bool, len(r.Components()))
+	names := r.Components()
+	for c, name := range names {
+		if len(f.Components) == 0 {
+			keep[c] = true
+			continue
+		}
+		for _, want := range f.Components {
+			if name == want {
+				keep[c] = true
+				break
+			}
+		}
+	}
+
+	first := true
+	sep := func() string {
+		if first {
+			first = false
+			return ""
+		}
+		return ",\n"
+	}
+
+	// Thread metadata: one named, sorted track per kept component.
+	for c, name := range names {
+		if !keep[c] {
+			continue
+		}
+		fmt.Fprintf(bw, "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%q}}", sep(), c+1, name)
+		fmt.Fprintf(bw, "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}", sep(), c+1, c)
+	}
+
+	for _, e := range r.Events() {
+		if e.Comp < 0 || int(e.Comp) >= len(keep) || !keep[e.Comp] {
+			continue
+		}
+		if !f.keepTick(e.Tick) || !f.keepBlock(e.Block) {
+			continue
+		}
+		tid := int(e.Comp) + 1
+		switch e.Kind {
+		case EventSpanBegin:
+			fmt.Fprintf(bw, "%s{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"name\":%q", sep(), tid, e.Tick, e.Name)
+			writeArgs(bw, e)
+			bw.WriteString("}")
+		case EventSpanEnd:
+			fmt.Fprintf(bw, "%s{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"name\":%q", sep(), tid, e.Tick, e.Name)
+			writeArgs(bw, e)
+			bw.WriteString("}")
+		case EventAsyncBegin:
+			fmt.Fprintf(bw, "%s{\"ph\":\"b\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"cat\":\"txn\",\"id\":%d,\"name\":%q}",
+				sep(), tid, e.Tick, e.Block, e.Name)
+		case EventAsyncEnd:
+			fmt.Fprintf(bw, "%s{\"ph\":\"e\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"cat\":\"txn\",\"id\":%d,\"name\":%q}",
+				sep(), tid, e.Tick, e.Block, e.Name)
+		case EventInstant:
+			fmt.Fprintf(bw, "%s{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"name\":%q", sep(), tid, e.Tick, e.Name)
+			writeArgs(bw, e)
+			bw.WriteString("}")
+		}
+	}
+
+	if r.Dropped() > 0 {
+		fmt.Fprintf(bw, "%s{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":\"ring overflow: %d oldest events dropped\"}",
+			sep(), r.Dropped())
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeArgs appends the optional args object: the block address when the
+// event is block-scoped and the payload when nonzero.
+func writeArgs(bw *bufio.Writer, e Event) {
+	if e.Block < 0 && e.Arg == 0 {
+		return
+	}
+	bw.WriteString(",\"args\":{")
+	wrote := false
+	if e.Block >= 0 {
+		fmt.Fprintf(bw, "\"block\":%d", e.Block)
+		wrote = true
+	}
+	if e.Arg != 0 {
+		if wrote {
+			bw.WriteString(",")
+		}
+		fmt.Fprintf(bw, "\"arg\":%d", e.Arg)
+	}
+	bw.WriteString("}")
+}

@@ -1,0 +1,153 @@
+// Package obs_test holds the golden-trace regression test. It lives in
+// an external test package so it can drive a full system run (internal/
+// system imports internal/obs; the reverse import is only legal from
+// _test files compiled as a separate package).
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twobit/internal/obs"
+	"twobit/internal/system"
+	"twobit/internal/workload"
+)
+
+// goldenRun executes the pinned scenario: 4 processors, two-bit
+// protocol, seeded sharing workload, 200 references per processor. The
+// short run keeps the golden file reviewable while still exercising
+// every event kind (spans, async transactions, instants, drops stay at
+// zero with this ring size).
+func goldenRun(t *testing.T) *obs.Recorder {
+	t.Helper()
+	rec := obs.New(1 << 16)
+	cfg := system.DefaultConfig(system.TwoBit, 4)
+	cfg.Obs = rec
+	gen := workload.NewSharedPrivate(workload.SharedPrivateConfig{
+		Procs: 4, SharedBlocks: 16, Q: 0.1, W: 0.3,
+		PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 24, ColdBlocks: 128, Seed: 7,
+	})
+	m, err := system.New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func chromeBytes(t *testing.T, rec *obs.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, rec, obs.Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+// TestGoldenTrace pins the exporter's output byte for byte on a seeded
+// run. Any change to instrumentation points, event naming, or the JSON
+// shape shows up as a readable diff of this file.
+func TestGoldenTrace(t *testing.T) {
+	got := chromeBytes(t, goldenRun(t))
+
+	path := filepath.Join("testdata", "golden_trace.json")
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden trace (set UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace drifted from golden file (%d vs %d bytes); diff %s against a regenerated copy",
+			len(got), len(want), path)
+	}
+}
+
+// TestGoldenTraceDeterministic runs the pinned scenario twice from
+// scratch and demands byte-identical exports.
+func TestGoldenTraceDeterministic(t *testing.T) {
+	a := chromeBytes(t, goldenRun(t))
+	b := chromeBytes(t, goldenRun(t))
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs exported different trace bytes")
+	}
+}
+
+// TestGoldenTraceWellFormed checks the structural invariants Chrome
+// relies on: the export is valid JSON, sync spans nest properly per
+// track, and every async begin has a matching async end for its
+// (name, id) pair.
+func TestGoldenTraceWellFormed(t *testing.T) {
+	raw := chromeBytes(t, goldenRun(t))
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string          `json:"ph"`
+			Tid  int             `json:"tid"`
+			Name string          `json:"name"`
+			Ts   float64         `json:"ts"`
+			ID   json.RawMessage `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	depth := map[int]int{}      // per-track open sync spans
+	async := map[string]int{}   // open async spans per name|id
+	lastTs := map[int]float64{} // per-track timestamp monotonicity
+	kinds := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		kinds[e.Ph]++
+		switch e.Ph {
+		case "B":
+			depth[e.Tid]++
+		case "E":
+			depth[e.Tid]--
+			if depth[e.Tid] < 0 {
+				t.Fatalf("event %d: span end without begin on tid %d", i, e.Tid)
+			}
+		case "b":
+			async[e.Name+"|"+string(e.ID)]++
+		case "e":
+			k := e.Name + "|" + string(e.ID)
+			async[k]--
+			if async[k] < 0 {
+				t.Fatalf("event %d: async end without begin for %s", i, k)
+			}
+		}
+		if e.Ph != "M" {
+			if prev, ok := lastTs[e.Tid]; ok && e.Ts < prev {
+				t.Fatalf("event %d: timestamp went backwards on tid %d (%v < %v)", i, e.Tid, e.Ts, prev)
+			}
+			lastTs[e.Tid] = e.Ts
+		}
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			t.Errorf("tid %d: %d sync spans left open", tid, d)
+		}
+	}
+	for _, ph := range []string{"M", "B", "E", "b", "e", "i"} {
+		if kinds[ph] == 0 {
+			t.Errorf("trace contains no %q events; instrumentation coverage regressed", ph)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package obs
+
+import "fmt"
+
+// Merge combines two snapshots: counters with the same name add,
+// histograms with the same name and bucket width add elementwise, and
+// instruments present on only one side carry over unchanged. Merge is
+// commutative and associative (see merge_test.go), which is what lets a
+// sweep campaign fold per-run snapshots in any grouping and still
+// produce one canonical aggregate.
+//
+// Merging histograms that share a name but disagree on bucket width is
+// an error: their bins measure different ranges and adding them would
+// produce a silently wrong distribution.
+func Merge(a, b Snapshot) (Snapshot, error) {
+	out := Snapshot{}
+	// Both inputs are name-sorted (Snapshot guarantees it), so a
+	// two-pointer merge keeps the output sorted without re-sorting.
+	i, j := 0, 0
+	for i < len(a.Counters) || j < len(b.Counters) {
+		switch {
+		case j == len(b.Counters) || (i < len(a.Counters) && a.Counters[i].Name < b.Counters[j].Name):
+			out.Counters = append(out.Counters, a.Counters[i])
+			i++
+		case i == len(a.Counters) || b.Counters[j].Name < a.Counters[i].Name:
+			out.Counters = append(out.Counters, b.Counters[j])
+			j++
+		default:
+			out.Counters = append(out.Counters, CounterValue{
+				Name:  a.Counters[i].Name,
+				Value: a.Counters[i].Value + b.Counters[j].Value,
+			})
+			i++
+			j++
+		}
+	}
+	i, j = 0, 0
+	for i < len(a.Hists) || j < len(b.Hists) {
+		switch {
+		case j == len(b.Hists) || (i < len(a.Hists) && a.Hists[i].Name < b.Hists[j].Name):
+			out.Hists = append(out.Hists, a.Hists[i])
+			i++
+		case i == len(a.Hists) || b.Hists[j].Name < a.Hists[i].Name:
+			out.Hists = append(out.Hists, b.Hists[j])
+			j++
+		default:
+			m, err := mergeHist(a.Hists[i], b.Hists[j])
+			if err != nil {
+				return Snapshot{}, err
+			}
+			out.Hists = append(out.Hists, m)
+			i++
+			j++
+		}
+	}
+	return out, nil
+}
+
+func mergeHist(a, b HistogramValue) (HistogramValue, error) {
+	if a.Width != b.Width {
+		return HistogramValue{}, fmt.Errorf("obs: cannot merge histogram %q: bucket widths differ (%d vs %d)",
+			a.Name, a.Width, b.Width)
+	}
+	out := HistogramValue{
+		Name:  a.Name,
+		Width: a.Width,
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Max:   a.Max,
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	n := len(a.Buckets)
+	if len(b.Buckets) > n {
+		n = len(b.Buckets)
+	}
+	if n > 0 {
+		out.Buckets = make([]uint64, n)
+		copy(out.Buckets, a.Buckets)
+		for k, v := range b.Buckets {
+			out.Buckets[k] += v
+		}
+	}
+	return out, nil
+}
+
+// MergeAll folds any number of snapshots left to right. Because Merge
+// is associative and commutative this equals folding in any order — the
+// property that makes sweep aggregation worker-count-independent.
+func MergeAll(snaps ...Snapshot) (Snapshot, error) {
+	var out Snapshot
+	for _, s := range snaps {
+		var err error
+		out, err = Merge(out, s)
+		if err != nil {
+			return Snapshot{}, err
+		}
+	}
+	return out, nil
+}

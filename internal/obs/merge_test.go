@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"twobit/internal/rng"
+)
+
+// randomSnapshot builds a snapshot with a random subset of a shared
+// instrument universe, so merged pairs exercise the overlap, left-only
+// and right-only paths.
+func randomSnapshot(g *rng.PCG) Snapshot {
+	r := New(0)
+	for i := 0; i < 6; i++ {
+		if g.Intn(2) == 1 {
+			r.Counter(fmt.Sprintf("c%d", i)).Add(uint64(g.Intn(1000)))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if g.Intn(2) == 1 {
+			h := r.Histogram(fmt.Sprintf("h%d", i), uint64(4*(i+1)))
+			for n := g.Intn(20); n > 0; n-- {
+				h.Observe(uint64(g.Intn(500)))
+			}
+		}
+	}
+	return r.Snapshot()
+}
+
+// encode canonicalizes nil vs empty slices before marshalling: the two
+// are semantically the same snapshot, and Merge legitimately returns
+// nil slices when both inputs were empty.
+func encode(t *testing.T, s Snapshot) []byte {
+	t.Helper()
+	if s.Counters == nil {
+		s.Counters = []CounterValue{}
+	}
+	if s.Hists == nil {
+		s.Hists = []HistogramValue{}
+	}
+	for i := range s.Hists {
+		if s.Hists[i].Buckets == nil {
+			s.Hists[i].Buckets = []uint64{}
+		}
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func mustMerge(t *testing.T, a, b Snapshot) Snapshot {
+	t.Helper()
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	return m
+}
+
+func TestMergeCommutative(t *testing.T) {
+	g := rng.New(101, 1)
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomSnapshot(g), randomSnapshot(g)
+		ab := encode(t, mustMerge(t, a, b))
+		ba := encode(t, mustMerge(t, b, a))
+		if !bytes.Equal(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\na⊕b = %s\nb⊕a = %s", trial, ab, ba)
+		}
+	}
+}
+
+func TestMergeAssociative(t *testing.T) {
+	g := rng.New(202, 1)
+	for trial := 0; trial < 200; trial++ {
+		a, b, c := randomSnapshot(g), randomSnapshot(g), randomSnapshot(g)
+		left := encode(t, mustMerge(t, mustMerge(t, a, b), c))
+		right := encode(t, mustMerge(t, a, mustMerge(t, b, c)))
+		if !bytes.Equal(left, right) {
+			t.Fatalf("trial %d: merge not associative:\n(a⊕b)⊕c = %s\na⊕(b⊕c) = %s", trial, left, right)
+		}
+	}
+}
+
+func TestMergeIdentity(t *testing.T) {
+	g := rng.New(303, 1)
+	for trial := 0; trial < 50; trial++ {
+		a := randomSnapshot(g)
+		if got := encode(t, mustMerge(t, Snapshot{}, a)); !bytes.Equal(got, encode(t, a)) {
+			t.Fatalf("trial %d: empty snapshot is not a left identity", trial)
+		}
+		if got := encode(t, mustMerge(t, a, Snapshot{})); !bytes.Equal(got, encode(t, a)) {
+			t.Fatalf("trial %d: empty snapshot is not a right identity", trial)
+		}
+	}
+}
+
+// TestMergeAllOrderIndependent is the sweep worker-equivalence property
+// in miniature: folding per-run snapshots in any sharding (sequential,
+// reversed, simulated worker interleavings) produces one canonical
+// aggregate — the reason sweep campaigns merge per-run metrics without
+// caring how runs were scheduled.
+func TestMergeAllOrderIndependent(t *testing.T) {
+	g := rng.New(404, 1)
+	snaps := make([]Snapshot, 9)
+	for i := range snaps {
+		snaps[i] = randomSnapshot(g)
+	}
+	base, err := MergeAll(snaps...)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	want := encode(t, base)
+
+	for _, workers := range []int{1, 2, 4, 16} {
+		// Shard round-robin across workers, fold each shard, then fold
+		// the per-worker partials — exactly a parallel sweep's shape.
+		partials := make([]Snapshot, workers)
+		for i, s := range snaps {
+			partials[i%workers] = mustMerge(t, partials[i%workers], s)
+		}
+		total, err := MergeAll(partials...)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := encode(t, total); !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: aggregate differs\n got %s\nwant %s", workers, got, want)
+		}
+	}
+
+	// Reversed fold order.
+	rev := make([]Snapshot, len(snaps))
+	for i, s := range snaps {
+		rev[len(snaps)-1-i] = s
+	}
+	total, err := MergeAll(rev...)
+	if err != nil {
+		t.Fatalf("reversed: %v", err)
+	}
+	if got := encode(t, total); !bytes.Equal(got, want) {
+		t.Fatalf("reversed fold differs\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	g := rng.New(505, 1)
+	for trial := 0; trial < 100; trial++ {
+		a, b := randomSnapshot(g), randomSnapshot(g)
+		m := mustMerge(t, a, b)
+		for _, cv := range m.Counters {
+			av, _ := a.Counter(cv.Name)
+			bv, _ := b.Counter(cv.Name)
+			if cv.Value != av+bv {
+				t.Fatalf("counter %s: %d ≠ %d + %d", cv.Name, cv.Value, av, bv)
+			}
+		}
+		for _, hv := range m.Hists {
+			ah, _ := a.Hist(hv.Name)
+			bh, _ := b.Hist(hv.Name)
+			if hv.Count != ah.Count+bh.Count || hv.Sum != ah.Sum+bh.Sum {
+				t.Fatalf("hist %s: count/sum not additive", hv.Name)
+			}
+			var fromBuckets uint64
+			for _, n := range hv.Buckets {
+				fromBuckets += n
+			}
+			if fromBuckets != hv.Count {
+				t.Fatalf("hist %s: buckets sum to %d, count is %d", hv.Name, fromBuckets, hv.Count)
+			}
+			if hv.Max != ah.Max && hv.Max != bh.Max {
+				t.Fatalf("hist %s: max %d comes from neither side", hv.Name, hv.Max)
+			}
+		}
+	}
+}
+
+func TestMergeWidthMismatchErrors(t *testing.T) {
+	a := New(0)
+	a.Histogram("lat", 4).Observe(1)
+	b := New(0)
+	b.Histogram("lat", 8).Observe(1)
+	if _, err := Merge(a.Snapshot(), b.Snapshot()); err == nil {
+		t.Fatalf("merging width-4 and width-8 histograms should error")
+	}
+}

@@ -7,8 +7,23 @@ import (
 	"twobit/internal/cache"
 	"twobit/internal/msg"
 	"twobit/internal/network"
+	"twobit/internal/obs"
 	"twobit/internal/sim"
 )
+
+// Static span names: the reference span opens at Access and closes at
+// completion, so the hot path must not build strings.
+const (
+	refReadName  = "ref read"
+	refWriteName = "ref write"
+)
+
+func refName(write bool) string {
+	if write {
+		return refWriteName
+	}
+	return refReadName
+}
 
 // AgentConfig configures a CacheAgent.
 type AgentConfig struct {
@@ -25,6 +40,9 @@ type AgentConfig struct {
 	ExclusiveGrants bool
 	// Commit is the oracle hook; may be nil.
 	Commit CommitFunc
+	// Obs is the observability recorder; nil leaves the agent
+	// uninstrumented at zero cost.
+	Obs *obs.Recorder
 }
 
 // CacheAgent is the cache-side coherence logic shared by the directory
@@ -42,6 +60,11 @@ type CacheAgent struct {
 	stats  CacheSideStats
 
 	pend *pendingRef
+
+	rec       *obs.Recorder
+	comp      obs.Component  // "cache<k>" trace track
+	obsRefs   *obs.Counter   // "cache<k>/refs"
+	obsRemote *obs.Histogram // "cache<k>/remote_ref_cycles": issue → finish
 }
 
 type pendPhase uint8
@@ -56,6 +79,7 @@ type pendingRef struct {
 	writeVersion uint64
 	done         func(uint64)
 	phase        pendPhase
+	issuedAt     sim.Time // when the remote transaction was issued
 }
 
 // NewCacheAgent wires a cache agent to the network. store must be a
@@ -67,7 +91,13 @@ func NewCacheAgent(cfg AgentConfig, kernel *sim.Kernel, net network.Network, sto
 	if cfg.Index < 0 || cfg.Index >= cfg.Topo.Caches {
 		panic(fmt.Sprintf("proto: agent index %d outside [0,%d)", cfg.Index, cfg.Topo.Caches))
 	}
-	a := &CacheAgent{cfg: cfg, kernel: kernel, net: net, store: store}
+	a := &CacheAgent{cfg: cfg, kernel: kernel, net: net, store: store, comp: obs.NoComponent}
+	if cfg.Obs != nil {
+		a.rec = cfg.Obs
+		a.comp = cfg.Obs.Component(fmt.Sprintf("cache%d", cfg.Index))
+		a.obsRefs = cfg.Obs.Counter(fmt.Sprintf("cache%d/refs", cfg.Index))
+		a.obsRemote = cfg.Obs.Histogram(fmt.Sprintf("cache%d/remote_ref_cycles", cfg.Index), 4)
+	}
 	net.Attach(cfg.Topo.CacheNode(cfg.Index), a)
 	return a
 }
@@ -109,6 +139,8 @@ func (a *CacheAgent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)
 	} else {
 		a.stats.Reads.Inc()
 	}
+	a.obsRefs.Inc()
+	a.rec.Begin(a.comp, refName(ref.Write), int64(ref.Block))
 
 	if f := a.store.Access(ref.Block); f != nil {
 		a.hit(ref, f, writeVersion, done)
@@ -117,19 +149,29 @@ func (a *CacheAgent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)
 	a.miss(ref, writeVersion, done)
 }
 
+// complete closes the reference span and runs done after the fill/hit
+// latency — the single completion path all references share, so every
+// Begin emitted by Access is closed by exactly one End.
+func (a *CacheAgent) complete(ref addr.Ref, v uint64, done func(uint64)) {
+	name := refName(ref.Write)
+	block := int64(ref.Block)
+	a.kernel.After(a.cfg.Lat.CacheHit, func() {
+		a.rec.End(a.comp, name, block)
+		done(v)
+	})
+}
+
 // hit handles the two purely local cases (read hit; write hit on modified)
 // plus the MREQUEST and Yen–Fu exclusive-upgrade paths.
 func (a *CacheAgent) hit(ref addr.Ref, f *cache.Frame, writeVersion uint64, done func(uint64)) {
-	lat := a.cfg.Lat.CacheHit
 	if !ref.Write {
-		v := f.Data
-		a.kernel.After(lat, func() { done(v) })
+		a.complete(ref, f.Data, done)
 		return
 	}
 	if f.Modified {
 		f.Data = writeVersion
 		a.commit(ref.Block, writeVersion)
-		a.kernel.After(lat, func() { done(writeVersion) })
+		a.complete(ref, writeVersion, done)
 		return
 	}
 	if a.cfg.ExclusiveGrants && f.Exclusive {
@@ -137,11 +179,11 @@ func (a *CacheAgent) hit(ref addr.Ref, f *cache.Frame, writeVersion uint64, done
 		f.Data = writeVersion
 		a.stats.ExclusiveWrites.Inc()
 		a.commit(ref.Block, writeVersion)
-		a.kernel.After(lat, func() { done(writeVersion) })
+		a.complete(ref, writeVersion, done)
 		return
 	}
 	// §3.2.4: write hit on previously unmodified block — MREQUEST.
-	a.pend = &pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitMGrant}
+	a.pend = &pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitMGrant, issuedAt: a.kernel.Now()}
 	a.stats.MRequestsSent.Inc()
 	a.send(a.cfg.Topo.CtrlFor(ref.Block), msg.Message{
 		Kind: msg.KindMRequest, Block: ref.Block, Cache: a.cfg.Index,
@@ -155,7 +197,7 @@ func (a *CacheAgent) miss(ref addr.Ref, writeVersion uint64, done func(uint64)) 
 	if ref.Write {
 		rw = msg.Write
 	}
-	a.pend = &pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitGet}
+	a.pend = &pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitGet, issuedAt: a.kernel.Now()}
 	a.send(a.cfg.Topo.CtrlFor(ref.Block), msg.Message{
 		Kind: msg.KindRequest, Block: ref.Block, Cache: a.cfg.Index, RW: rw,
 	})
@@ -216,12 +258,14 @@ func (a *CacheAgent) handleInvalidate(m msg.Message) {
 	if f := a.store.Snoop(m.Block); f != nil {
 		a.store.Invalidate(m.Block)
 		a.stats.InvalidationsApplied.Inc()
+		a.rec.Emit(a.comp, "inv applied", int64(m.Block), 0)
 	} else {
 		a.stats.UselessCommands.Inc()
 	}
 	// §3.2.5: a BROADINV overtaking our MREQUEST acts as MGRANTED(·,false).
 	if a.pend != nil && a.pend.phase == pendAwaitMGrant && a.pend.ref.Block == m.Block {
 		a.stats.MRequestsConverted.Inc()
+		a.rec.Emit(a.comp, "mreq converted", int64(m.Block), 0)
 		a.reissueAsWriteMiss()
 	}
 }
@@ -239,6 +283,7 @@ func (a *CacheAgent) handleQuery(src network.NodeID, m msg.Message) {
 		return
 	}
 	a.stats.QueriesAnswered.Inc()
+	a.rec.Emit(a.comp, "query answered", int64(m.Block), 0)
 	a.send(src, msg.Message{Kind: msg.KindPut, Block: m.Block, Cache: a.cfg.Index, Data: f.Data})
 	if m.RW == msg.Read {
 		// §3.2.2 case 2: reset the modified bit, keep the (now clean) copy.
@@ -263,6 +308,7 @@ func (a *CacheAgent) handleMGranted(m msg.Message) {
 	}
 	if !m.Ok {
 		a.stats.Retries.Inc()
+		a.rec.Emit(a.comp, "retry", int64(m.Block), 0)
 		a.reissueAsWriteMiss()
 		return
 	}
@@ -332,7 +378,8 @@ func (a *CacheAgent) handleGet(m msg.Message) {
 
 // finish completes the outstanding reference after the fill latency.
 func (a *CacheAgent) finish(v uint64) {
-	done := a.pend.done
+	a.obsRemote.Observe(uint64(a.kernel.Now() - a.pend.issuedAt))
+	ref, done := a.pend.ref, a.pend.done
 	a.pend = nil
-	a.kernel.After(a.cfg.Lat.CacheHit, func() { done(v) })
+	a.complete(ref, v, done)
 }

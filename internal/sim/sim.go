@@ -44,13 +44,29 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// Hook observes event execution: BeforeEvent fires after the clock has
+// advanced to the event's time but before its action runs, AfterEvent
+// when the action returns. Hooks are for passive instrumentation
+// (profiling, tracing) only — a hook must not schedule events or mutate
+// simulation state, or it would perturb the very order it observes.
+type Hook interface {
+	BeforeEvent(at Time)
+	AfterEvent(at Time)
+}
+
 // Kernel is a discrete-event scheduler. The zero value is ready to use.
 type Kernel struct {
 	now       Time
 	seq       uint64
 	events    eventHeap
 	processed uint64
+	hook      Hook
 }
+
+// SetHook installs the profiling hook called around every executed
+// event; nil removes it. The hook costs one nil check per event when
+// absent.
+func (k *Kernel) SetHook(h Hook) { k.hook = h }
 
 // Now returns the current simulated time.
 func (k *Kernel) Now() Time { return k.now }
@@ -87,7 +103,13 @@ func (k *Kernel) Step() bool {
 	e := heap.Pop(&k.events).(event)
 	k.now = e.at
 	k.processed++
+	if k.hook != nil {
+		k.hook.BeforeEvent(e.at)
+	}
 	e.fn()
+	if k.hook != nil {
+		k.hook.AfterEvent(e.at)
+	}
 	return true
 }
 

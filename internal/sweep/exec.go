@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"twobit/internal/obs"
 	"twobit/internal/system"
 	"twobit/internal/workload"
 )
@@ -50,7 +51,11 @@ func runPoint(p *Plan, pt Point) Record {
 		Seed:      pt.Seed,
 	}
 	gen := workload.NewSharedPrivate(p.workloadConfig(pt))
-	m, err := system.New(p.Config(pt), gen)
+	cfg := p.Config(pt)
+	if p.Obs {
+		cfg.Obs = obs.New(0) // metrics only: no event ring in stored campaigns
+	}
+	m, err := system.New(cfg, gen)
 	if err != nil {
 		rec.Err = err.Error()
 		return rec

@@ -76,6 +76,15 @@ type Plan struct {
 	// NoOracle disables the per-run linearizability checker; the default
 	// is checking on, so every campaign doubles as a correctness sweep.
 	NoOracle bool `json:"no_oracle,omitempty"`
+
+	// Obs attaches a metrics-only observability recorder to every run, so
+	// each record's results carry the full counter/histogram snapshot
+	// (queue depths, transaction cycles, directory transitions, …) on top
+	// of the headline statistics. Event tracing stays off — traces are
+	// recorded on demand by TracePoint / cmd/coherencetrace, not stored
+	// per run. The recorder is passive: results are byte-identical to an
+	// uninstrumented run modulo the added "obs" section.
+	Obs bool `json:"obs,omitempty"`
 }
 
 // Point is one expanded run of a plan.

@@ -36,7 +36,7 @@ func Open(path string, resume bool) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: opening store: %w", err)
 	}
-	valid, count, err := validPrefix(f)
+	valid, count, err := validPrefix(f, path)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -52,20 +52,24 @@ func Open(path string, resume bool) (*Store, error) {
 	return &Store{path: path, f: f, next: count}, nil
 }
 
-// validPrefix scans the store and returns the byte length and record
-// count of the longest prefix of complete, parseable, sequentially
-// numbered lines. A torn final line (no trailing newline, or unparseable)
-// ends the prefix; a parseable line with the wrong run id is corruption
-// and errors out, because silently dropping interior records would let a
-// resumed campaign diverge.
-func validPrefix(f *os.File) (bytes64 int64, count int, err error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, 0, fmt.Errorf("sweep: seeking store: %w", err)
+// validPrefix scans a store stream and returns the byte length and
+// record count of the longest prefix of complete, parseable,
+// sequentially numbered lines. A torn final line (no trailing newline,
+// or unparseable) ends the prefix; a parseable line with the wrong run
+// id is corruption and errors out, because silently dropping interior
+// records would let a resumed campaign diverge. The seek to the start
+// happens here so Open can hand over the file as-is; non-file readers
+// (the fuzz harness) pass their bytes directly.
+func validPrefix(r io.Reader, name string) (bytes64 int64, count int, err error) {
+	if s, ok := r.(io.Seeker); ok {
+		if _, err := s.Seek(0, io.SeekStart); err != nil {
+			return 0, 0, fmt.Errorf("sweep: seeking store: %w", err)
+		}
 	}
-	r := bufio.NewReader(f)
+	br := bufio.NewReader(r)
 	var offset int64
 	for {
-		line, err := r.ReadBytes('\n')
+		line, err := br.ReadBytes('\n')
 		if err == io.EOF {
 			// No trailing newline: a torn final line, end of prefix.
 			return offset, count, nil
@@ -73,7 +77,11 @@ func validPrefix(f *os.File) (bytes64 int64, count int, err error) {
 		if err != nil {
 			return 0, 0, fmt.Errorf("sweep: scanning store: %w", err)
 		}
+		// Decode the full record, not just the id: a line that parses as
+		// JSON but not as a Record (wrong field types) is torn/garbage
+		// and must end the prefix rather than be counted.
 		var rec struct {
+			Record
 			RunID *int `json:"run_id"`
 		}
 		if json.Unmarshal(bytes.TrimSpace(line), &rec) != nil || rec.RunID == nil {
@@ -82,7 +90,7 @@ func validPrefix(f *os.File) (bytes64 int64, count int, err error) {
 		}
 		if *rec.RunID != count {
 			return 0, 0, fmt.Errorf("sweep: store %s is corrupt: line %d holds run %d",
-				f.Name(), count, *rec.RunID)
+				name, count, *rec.RunID)
 		}
 		offset += int64(len(line))
 		count++

@@ -3,11 +3,13 @@ package sweep
 import (
 	"bytes"
 	"crypto/sha256"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"twobit/internal/obs"
 	"twobit/internal/system"
 )
 
@@ -366,5 +368,140 @@ func TestCheckPrefixGuardsForeignStores(t *testing.T) {
 		t.Fatal("16 records accepted by an 8-run plan")
 	} else if !strings.Contains(err.Error(), "expands to") {
 		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+// TestResumeMatrix crosses resume worker counts with kill points,
+// including a kill mid-record (the torn line a crash during a synced
+// append leaves behind): every combination must converge byte for byte
+// to the uninterrupted store. The worker axis matters because resume
+// re-sequencing starts from a nonzero offset — an off-by-one there
+// would only show up when many workers race past the checkpoint.
+func TestResumeMatrix(t *testing.T) {
+	p := testPlan()
+	full := filepath.Join(t.TempDir(), "full.jsonl")
+	runToFile(t, p, full, 4)
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(want, []byte("\n"))
+
+	cuts := map[string][]byte{
+		"empty":         nil,
+		"clean quarter": bytes.Join(lines[:len(lines)/4], nil),
+		"clean half":    bytes.Join(lines[:len(lines)/2], nil),
+		"mid-record":    append(bytes.Join(lines[:len(lines)/2], nil), lines[len(lines)/2][:10]...),
+		"all but one":   bytes.Join(lines[:p.Size()-1], nil),
+	}
+	for _, workers := range []int{1, 4, 16} {
+		for name, prefix := range cuts {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, name), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "resumed.jsonl")
+				if err := os.WriteFile(path, prefix, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				st, err := Open(path, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prefixRecs, err := LoadStore(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := CheckPrefix(p, prefixRecs); err != nil {
+					t.Fatal(err)
+				}
+				if err := Execute(p, workers, st.Next(), st.Append); err != nil {
+					t.Fatal(err)
+				}
+				st.Close()
+				if fileHash(t, path) != sha256.Sum256(want) {
+					got, _ := os.ReadFile(path)
+					t.Errorf("resumed store differs from uninterrupted store:\n--- resumed ---\n%s\n--- want ---\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestObsPlanIsDeterministicAcrossWorkers extends the byte-identity
+// guarantee to instrumented campaigns: with obs on, each record carries
+// its run's full metrics snapshot, and the store is still identical for
+// any worker count.
+func TestObsPlanIsDeterministicAcrossWorkers(t *testing.T) {
+	p := testPlan()
+	p.Obs = true
+	dir := t.TempDir()
+	serial := filepath.Join(dir, "serial.jsonl")
+	parallel := filepath.Join(dir, "parallel.jsonl")
+	runToFile(t, p, serial, 1)
+	runToFile(t, p, parallel, 8)
+	if fileHash(t, serial) != fileHash(t, parallel) {
+		t.Fatal("instrumented stores differ between workers=1 and workers=8")
+	}
+	recs, err := LoadStore(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		res, err := rec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Obs == nil {
+			t.Fatalf("run %d: no obs snapshot despite plan.Obs", rec.RunID)
+		}
+		if _, ok := res.Obs.Counter("net/sends"); !ok {
+			t.Fatalf("run %d: snapshot missing net/sends", rec.RunID)
+		}
+	}
+
+	// The same plan with obs off must still produce the pre-obs bytes:
+	// an instrumented campaign is an additive superset, not a new format.
+	p2 := testPlan()
+	plain := filepath.Join(dir, "plain.jsonl")
+	runToFile(t, p2, plain, 4)
+	plainRecs, err := LoadStore(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range plainRecs {
+		if bytes.Contains(rec.Results, []byte(`"obs"`)) {
+			t.Fatalf("run %d: uninstrumented record carries an obs section", rec.RunID)
+		}
+	}
+}
+
+// TestTracePointMatchesStoredRecord pins the replay contract behind
+// cmd/coherencetrace: re-running a stored run with a recorder attached
+// reproduces the stored results byte for byte once the snapshot is
+// stripped.
+func TestTracePointMatchesStoredRecord(t *testing.T) {
+	p := testPlan()
+	recs, err := Collect(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runID := 3
+	rec := obs.New(1 << 12)
+	res, err := TracePoint(p, runID, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.EventCount() == 0 {
+		t.Fatal("replay recorded no events")
+	}
+	res.Obs = nil
+	enc, err := res.EncodeStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, recs[runID].Results) {
+		t.Errorf("replayed results differ from stored record:\n--- replay ---\n%s\n--- stored ---\n%s", enc, recs[runID].Results)
+	}
+
+	if _, err := TracePoint(p, p.Size(), rec); err == nil {
+		t.Error("out-of-range run id accepted")
 	}
 }

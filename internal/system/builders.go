@@ -45,6 +45,7 @@ func directoryAgents(m *Machine, exclusive bool) ([]*proto.CacheAgent, []proto.C
 			DisableCleanEject: m.cfg.DisableCleanEject,
 			ExclusiveGrants:   exclusive,
 			Commit:            m.commitHook(),
+			Obs:               m.cfg.Obs,
 		}, m.kernel, m.net, store)
 		sides[k] = agents[k]
 	}
@@ -74,6 +75,7 @@ func (b *twoBitBuilder) buildCtrls(m *Machine) []proto.MemSide {
 			Mode:                  m.cfg.Mode,
 			TranslationBufferSize: m.cfg.TranslationBufferSize,
 			Commit:                m.commitHook(),
+			Obs:                   m.cfg.Obs,
 		}, m.kernel, m.net, mem)
 		b.ctrls[j] = c
 		out[j] = c

@@ -6,6 +6,7 @@ import (
 
 	"twobit/internal/cache"
 	"twobit/internal/network"
+	"twobit/internal/obs"
 	"twobit/internal/proto"
 	"twobit/internal/sim"
 	"twobit/internal/stats"
@@ -221,6 +222,60 @@ func netFromWire(w netWire) network.Stats {
 	}
 }
 
+// obsCounterWire mirrors obs.CounterValue.
+type obsCounterWire struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// obsHistWire mirrors obs.HistogramValue.
+type obsHistWire struct {
+	Name    string   `json:"name"`
+	Width   uint64   `json:"width"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Max     uint64   `json:"max"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// obsWire mirrors obs.Snapshot.
+type obsWire struct {
+	Counters []obsCounterWire `json:"counters,omitempty"`
+	Hists    []obsHistWire    `json:"hists,omitempty"`
+}
+
+func obsToWire(s *obs.Snapshot) *obsWire {
+	if s == nil {
+		return nil
+	}
+	w := &obsWire{}
+	for _, c := range s.Counters {
+		w.Counters = append(w.Counters, obsCounterWire{Name: c.Name, Value: c.Value})
+	}
+	for _, h := range s.Hists {
+		w.Hists = append(w.Hists, obsHistWire{
+			Name: h.Name, Width: h.Width, Count: h.Count, Sum: h.Sum, Max: h.Max, Buckets: h.Buckets,
+		})
+	}
+	return w
+}
+
+func obsFromWire(w *obsWire) *obs.Snapshot {
+	if w == nil {
+		return nil
+	}
+	s := &obs.Snapshot{}
+	for _, c := range w.Counters {
+		s.Counters = append(s.Counters, obs.CounterValue{Name: c.Name, Value: c.Value})
+	}
+	for _, h := range w.Hists {
+		s.Hists = append(s.Hists, obs.HistogramValue{
+			Name: h.Name, Width: h.Width, Count: h.Count, Sum: h.Sum, Max: h.Max, Buckets: h.Buckets,
+		})
+	}
+	return s
+}
+
 // resultsWire mirrors Results.
 type resultsWire struct {
 	Protocol string          `json:"protocol"`
@@ -246,6 +301,10 @@ type resultsWire struct {
 	LatencyP99        uint64  `json:"latency_p99"`
 	SharedLatencyMean float64 `json:"shared_latency_mean"`
 	CtrlUtilization   float64 `json:"ctrl_utilization"`
+
+	// Obs trails the schema and is omitted when absent, so records from
+	// uninstrumented runs keep their pre-observability byte encoding.
+	Obs *obsWire `json:"obs,omitempty"`
 }
 
 // EncodeStable renders r in the stable wire schema: a single JSON object
@@ -273,6 +332,8 @@ func (r Results) EncodeStable() ([]byte, error) {
 		LatencyP99:        r.LatencyP99,
 		SharedLatencyMean: r.SharedLatencyMean,
 		CtrlUtilization:   r.CtrlUtilization,
+
+		Obs: obsToWire(r.Obs),
 	}
 	for _, s := range r.Cache {
 		w.Cache = append(w.Cache, cacheSideToWire(s))
@@ -321,6 +382,8 @@ func DecodeResults(data []byte) (Results, error) {
 		LatencyP99:        w.LatencyP99,
 		SharedLatencyMean: w.SharedLatencyMean,
 		CtrlUtilization:   w.CtrlUtilization,
+
+		Obs: obsFromWire(w.Obs),
 	}
 	for _, s := range w.Cache {
 		r.Cache = append(r.Cache, cacheSideFromWire(s))

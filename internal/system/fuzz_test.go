@@ -1,0 +1,49 @@
+package system
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeResults fuzzes the stable results codec: arbitrary bytes
+// must never panic the decoder, and anything that decodes must re-encode
+// and re-decode to a byte-stable fixed point. The seed corpus under
+// testdata/fuzz pins real encodings (with and without the obs section)
+// so the fuzzer starts from structurally valid inputs.
+func FuzzDecodeResults(f *testing.F) {
+	if enc, err := goldenResults().EncodeStable(); err == nil {
+		f.Add(enc)
+	}
+	noObs := goldenResults()
+	noObs.Obs = nil
+	if enc, err := noObs.EncodeStable(); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"protocol":99}`))
+	f.Add([]byte(`{"obs":{"counters":[{"name":"x","value":1}]}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeResults(data)
+		if err != nil {
+			return // rejecting malformed input is the correct outcome
+		}
+		enc, err := r.EncodeStable()
+		if err != nil {
+			t.Fatalf("decoded results failed to encode: %v", err)
+		}
+		r2, err := DecodeResults(enc)
+		if err != nil {
+			t.Fatalf("own encoding failed to decode: %v\n%s", err, enc)
+		}
+		enc2, err := r2.EncodeStable()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("codec has no fixed point:\n  first  %s\n  second %s", enc, enc2)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"twobit/internal/addr"
 	"twobit/internal/msg"
 	"twobit/internal/network"
+	"twobit/internal/obs"
 	"twobit/internal/sim"
 )
 
@@ -121,6 +122,11 @@ func (c *choiceNet) Broadcast(src network.NodeID, m msg.Message, except ...netwo
 
 func (c *choiceNet) Stats() *network.Stats { return &c.stats }
 
+// Observe implements network.Network. The model checker's network stays
+// uninstrumented: exploration rebuilds the machine per path and cares
+// about states, not timings.
+func (c *choiceNet) Observe(*obs.Recorder, func(network.NodeID) string) {}
+
 // options returns the deliverable pairs (nonempty queues) in stable order.
 func (c *choiceNet) options() [][2]network.NodeID {
 	var out [][2]network.NodeID
@@ -166,6 +172,7 @@ func ModelCheck(sc MCScenario) (MCResult, error) {
 		cfg := sc.Config
 		cfg.Oracle = true
 		cfg.TraceWriter = nil
+		cfg.Obs = nil
 		cn := newChoiceNet()
 		gen := &mcGen{scripts: sc.Scripts, pos: make([]int, len(sc.Scripts)), blocks: sc.Blocks}
 		m, err := newMachine(cfg, gen, func(*sim.Kernel) network.Network { return cn })

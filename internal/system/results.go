@@ -7,6 +7,7 @@ import (
 
 	"twobit/internal/cache"
 	"twobit/internal/network"
+	"twobit/internal/obs"
 	"twobit/internal/proto"
 	"twobit/internal/sim"
 )
@@ -48,6 +49,12 @@ type Results struct {
 	// option 1) saturates at 1.0; a per-block controller can exceed 1 by
 	// overlapping transactions. The §2.4.1 bottleneck indicator.
 	CtrlUtilization float64
+
+	// Obs holds the run's observability metrics when Config.Obs was set,
+	// nil otherwise. Keeping it a pointer (and omitempty on the wire)
+	// makes an uninstrumented run's encoding byte-identical to what it
+	// was before the observability layer existed.
+	Obs *obs.Snapshot
 }
 
 // collect builds Results after a successful run.
@@ -113,6 +120,10 @@ func (m *Machine) collect(refsPerProc int) Results {
 	r.LatencyP50 = m.latencies.Quantile(0.5)
 	r.LatencyP99 = m.latencies.Quantile(0.99)
 	r.SharedLatencyMean = m.sharedLatencies.Mean()
+	if m.cfg.Obs != nil {
+		snap := m.cfg.Obs.Snapshot()
+		r.Obs = &snap
+	}
 	return r
 }
 

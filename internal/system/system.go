@@ -15,6 +15,7 @@ import (
 	"twobit/internal/addr"
 	"twobit/internal/cache"
 	"twobit/internal/network"
+	"twobit/internal/obs"
 	"twobit/internal/proto"
 	"twobit/internal/sim"
 	"twobit/internal/stats"
@@ -124,6 +125,11 @@ type Config struct {
 	// TraceWriter, when non-nil, receives a log of every network message —
 	// a protocol debugging aid.
 	TraceWriter io.Writer
+	// Obs, when non-nil, records sim-time events and per-component
+	// metrics for this run (see internal/obs). Recording is passive: a
+	// machine with and without a recorder produces identical Results
+	// (modulo the Results.Obs snapshot itself).
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns a ready-to-run configuration for n processors.
@@ -215,6 +221,8 @@ type Machine struct {
 
 	latencies       stats.Histogram // per-reference latency, cycles
 	sharedLatencies stats.Histogram // latency of shared references only
+
+	obsLatency *obs.Histogram // "sys/ref_latency_cycles" (nil when Obs off)
 }
 
 // New assembles a machine for cfg running gen. The address space is sized
@@ -253,6 +261,12 @@ func newMachine(cfg Config, gen workload.Generator, netFactory func(*sim.Kernel)
 	if cfg.TraceWriter != nil {
 		m.net = &traceNet{inner: m.net, m: m, w: cfg.TraceWriter}
 	}
+	if cfg.Obs != nil {
+		cfg.Obs.SetClock(m.kernel.Now)
+		m.kernel.SetHook(obs.NewKernelProfile(cfg.Obs))
+		m.obsLatency = cfg.Obs.Histogram("sys/ref_latency_cycles", 8)
+		m.net.Observe(cfg.Obs, m.trackName)
+	}
 	if cfg.Oracle {
 		m.oracle = NewOracle()
 		// Strict linearizability holds only when invalidations and grants
@@ -272,6 +286,20 @@ func newMachine(cfg Config, gen workload.Generator, netFactory func(*sim.Kernel)
 		m.dmas = append(m.dmas, newDMADevice(m, d))
 	}
 	return m, nil
+}
+
+// trackName maps a network node id to its observability track name,
+// following the topology's layout: caches first, then controllers, then
+// DMA devices.
+func (m *Machine) trackName(id network.NodeID) string {
+	if k, ok := m.topo.CacheIndex(id); ok {
+		return fmt.Sprintf("cache%d", k)
+	}
+	j := int(id) - m.topo.Caches
+	if j < m.topo.Modules {
+		return fmt.Sprintf("ctrl%d", j)
+	}
+	return fmt.Sprintf("dma%d", j-m.topo.Modules)
 }
 
 func maxTime(a, b sim.Time) sim.Time {
@@ -361,6 +389,7 @@ func (m *Machine) issue(p, remaining int) {
 	m.caches[p].Access(ref, version, func(got uint64) {
 		lat := uint64(m.kernel.Now() - issuedAt)
 		m.latencies.Observe(lat)
+		m.obsLatency.Observe(lat)
 		if ref.Shared {
 			m.sharedLatencies.Observe(lat)
 		}

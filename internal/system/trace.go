@@ -6,6 +6,7 @@ import (
 
 	"twobit/internal/msg"
 	"twobit/internal/network"
+	"twobit/internal/obs"
 )
 
 // traceNet decorates a Network, logging every send and broadcast with the
@@ -48,3 +49,7 @@ func (t *traceNet) Broadcast(src network.NodeID, m msg.Message, except ...networ
 }
 
 func (t *traceNet) Stats() *network.Stats { return t.inner.Stats() }
+
+func (t *traceNet) Observe(rec *obs.Recorder, names func(network.NodeID) string) {
+	t.inner.Observe(rec, names)
+}

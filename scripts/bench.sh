@@ -43,3 +43,36 @@ END {
 
 echo "==> wrote $OUT"
 cat "$OUT"
+
+# Observability overhead baseline: ns/op and allocs/op for the
+# instrumentation entry points with recording off (the nil-check path
+# every simulation pays) and on (the marginal cost of measuring).
+OBS_OUT=BENCH_obs.json
+OBS_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$OBS_RAW"' EXIT
+
+echo "==> go test -bench BenchmarkObs(Disabled|Enabled) -benchmem"
+go test -run '^$' -bench '^BenchmarkObs(Disabled|Enabled)$' -benchmem -benchtime 2000000x . | tee "$OBS_RAW"
+
+awk -v commit="$COMMIT" -v date="$DATE" '
+/^BenchmarkObs(Disabled|Enabled)/ {
+    name = ($1 ~ /Disabled/) ? "disabled" : "enabled"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns[name] = $(i - 1)
+        if ($i == "allocs/op") allocs[name] = $(i - 1)
+    }
+    seen[name] = 1
+}
+END {
+    if (!seen["disabled"] || !seen["enabled"]) {
+        print "bench.sh: obs benchmarks did not both report" > "/dev/stderr"; exit 1
+    }
+    printf "{\n  \"benchmark\": \"BenchmarkObs\",\n"
+    printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+    printf "  \"disabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", ns["disabled"], allocs["disabled"]
+    printf "  \"enabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}\n", ns["enabled"], allocs["enabled"]
+    printf "}\n"
+}' "$OBS_RAW" > "$OBS_OUT"
+
+echo "==> wrote $OBS_OUT"
+cat "$OBS_OUT"

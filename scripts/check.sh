@@ -52,4 +52,44 @@ cmp "$SMOKE/w1.jsonl" "$SMOKE/half.jsonl" || {
     exit 1
 }
 
+
+echo "==> obs zero-alloc guard"
+# The disabled instrumentation path must not allocate: one allocation per
+# call would silently tax every uninstrumented simulation.
+OBS_BENCH="$(go test -run '^$' -bench '^BenchmarkObs(Disabled|Enabled)$' -benchmem -benchtime 1000x .)"
+echo "$OBS_BENCH"
+echo "$OBS_BENCH" | awk '
+/^BenchmarkObsDisabled/ {
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") { allocs = $(i - 1); found = 1 }
+}
+END {
+    if (!found) { print "check.sh: BenchmarkObsDisabled did not report allocs/op" > "/dev/stderr"; exit 1 }
+    if (allocs + 0 != 0) { printf "check.sh: disabled obs path allocates (%s allocs/op)\n", allocs > "/dev/stderr"; exit 1 }
+}'
+
+echo "==> trace export determinism"
+cat > "$SMOKE/traceplan.json" <<'EOF2'
+{
+  "name": "tracesmoke",
+  "protocols": ["two-bit"],
+  "qs": [0.1],
+  "ws": [0.3],
+  "procs": [4],
+  "refs_per_proc": 200,
+  "root_seed": 7
+}
+EOF2
+go run ./cmd/coherencetrace -plan "$SMOKE/traceplan.json" -run 0 -o "$SMOKE/trace1.json"
+go run ./cmd/coherencetrace -plan "$SMOKE/traceplan.json" -run 0 -o "$SMOKE/trace2.json"
+cmp "$SMOKE/trace1.json" "$SMOKE/trace2.json" || {
+    echo "check.sh: trace export is not deterministic" >&2
+    exit 1
+}
+
+echo "==> fuzz: results codec (30s)"
+go test -run '^$' -fuzz '^FuzzDecodeResults$' -fuzztime 30s ./internal/system
+
+echo "==> fuzz: store prefix parser (30s)"
+go test -run '^$' -fuzz '^FuzzStorePrefix$' -fuzztime 30s ./internal/sweep
+
 echo "OK"
