@@ -87,8 +87,13 @@ type Controller struct {
 	mem    *memory.Module
 	dir    *directory.TwoBitMap
 	ser    *proto.Serializer
+	calls  *proto.CallQueue
 	tb     *directory.TranslationBuffer
 	stats  proto.CtrlStats
+
+	// exceptScratch is the reusable broadcast exclusion list; Broadcast
+	// consumes it synchronously, so one buffer per controller suffices.
+	exceptScratch []network.NodeID
 
 	// waiting holds, per block, the active transaction's data continuation
 	// (a BROADQUERY answer or an EJECT write-back in flight).
@@ -155,6 +160,7 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 		c.tb = directory.NewTranslationBuffer(cfg.TranslationBufferSize)
 	}
 	c.ser = proto.NewSerializer(cfg.Mode, c.begin)
+	c.calls = proto.NewCallQueue(kernel, c.service)
 	net.Attach(c.node(), c)
 	return c
 }
@@ -254,7 +260,7 @@ func (c *Controller) begin(p proto.Pending) {
 	if c.rec != nil {
 		c.rec.AsyncBegin(c.comp, start.name, int64(p.M.Block))
 	}
-	c.kernel.After(c.cfg.Lat.CtrlService, func() { c.service(p) })
+	c.calls.Service(c.cfg.Lat.CtrlService, p)
 }
 
 func (c *Controller) service(p proto.Pending) {
@@ -534,7 +540,7 @@ func (c *Controller) query(a addr.Block, rw msg.RW, k int, onData func(owner int
 		c.ser.DeleteQueued(a, func(p proto.Pending) bool {
 			return p.M.Kind == msg.KindEject && p.M.RW == msg.Write && p.M.Cache == put.cache
 		})
-		c.kernel.After(0, func() { onData(put.cache, put.data) })
+		c.calls.Data(0, onData, put.cache, put.data)
 		return
 	}
 	if owners, ok := c.tbLookup(a); ok && len(owners) > 0 {
@@ -568,7 +574,7 @@ func (c *Controller) await(a addr.Block, onData func(owner int, data uint64)) {
 		} else {
 			c.stashed[a] = puts[1:]
 		}
-		c.kernel.After(0, func() { onData(put.cache, put.data) })
+		c.calls.Data(0, onData, put.cache, put.data)
 		return
 	}
 	if _, dup := c.waiting[a]; dup {
@@ -593,9 +599,10 @@ func (c *Controller) done(a addr.Block) {
 
 // broadcastExcept builds the exclusion list for a broadcast exempting
 // cache k: the controller's broadcasts go to caches only, so all other
-// controllers are excluded too.
+// controllers are excluded too. The returned slice is the controller's
+// reusable scratch buffer, valid until the next call.
 func (c *Controller) broadcastExcept(k int) []network.NodeID {
-	var except []network.NodeID
+	except := c.exceptScratch[:0]
 	if k >= 0 {
 		except = append(except, c.cfg.Topo.CacheNode(k))
 	}
@@ -607,6 +614,7 @@ func (c *Controller) broadcastExcept(k int) []network.NodeID {
 	for d := 0; d < c.cfg.Topo.DMA; d++ {
 		except = append(except, c.cfg.Topo.DMANode(d))
 	}
+	c.exceptScratch = except
 	return except
 }
 

@@ -47,6 +47,7 @@ type Controller struct {
 	mem    *memory.Module
 	dir    *directory.FullMap
 	ser    *proto.Serializer
+	calls  *proto.CallQueue
 	stats  proto.CtrlStats
 
 	waiting map[addr.Block]func(cache int, data uint64)
@@ -79,6 +80,7 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 		activeSince: make(map[addr.Block]sim.Time),
 	}
 	c.ser = proto.NewSerializer(cfg.Mode, c.begin)
+	c.calls = proto.NewCallQueue(kernel, c.service)
 	net.Attach(c.node(), c)
 	return c
 }
@@ -145,7 +147,7 @@ func (c *Controller) handlePut(m msg.Message) {
 
 func (c *Controller) begin(p proto.Pending) {
 	c.activeSince[p.M.Block] = c.kernel.Now()
-	c.kernel.After(c.cfg.Lat.CtrlService, func() { c.service(p) })
+	c.calls.Service(c.cfg.Lat.CtrlService, p)
 }
 
 func (c *Controller) service(p proto.Pending) {
@@ -391,7 +393,7 @@ func (c *Controller) purge(a addr.Block, rw msg.RW, owner int, onData func(int, 
 		// The eviction's write-back subsumed the purge: the owner's copy is
 		// gone, so clear its presence bit here.
 		c.dir.SetPresent(c.local(a), put.cache, false)
-		c.kernel.After(0, func() { onData(put.cache, put.data) })
+		c.calls.Data(0, onData, put.cache, put.data)
 		return
 	}
 	c.stats.DirectedSends.Inc()
@@ -407,7 +409,7 @@ func (c *Controller) await(a addr.Block, onData func(int, uint64)) {
 		} else {
 			c.stashed[a] = puts[1:]
 		}
-		c.kernel.After(0, func() { onData(put.cache, put.data) })
+		c.calls.Data(0, onData, put.cache, put.data)
 		return
 	}
 	if _, dup := c.waiting[a]; dup {

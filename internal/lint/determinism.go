@@ -86,7 +86,7 @@ func schedulingCall(p *pkg, call *ast.CallExpr, cfg Config) (string, bool) {
 	}
 	name := sel.Sel.Name
 	switch {
-	case path == cfg.SimPath && (name == "At" || name == "After"):
+	case path == cfg.SimPath && (name == "At" || name == "After" || name == "AtCall" || name == "AfterCall"):
 		return "schedules a kernel event via " + name, true
 	case path == cfg.NetPath && (name == "Send" || name == "Broadcast"):
 		return "sends a network message via " + name, true

@@ -26,13 +26,22 @@
 //     but any scheduling call at all is a finding, so instruments can
 //     never perturb the event schedule they measure.
 //
+//   - closure-in-hotpath: packages on the simulator's allocation-gated
+//     hot path (the network and core fan-out layers) must not pass the
+//     kernel At/After a closure that captures a loop variable — such a
+//     closure allocates once per iteration, exactly the cost the
+//     zero-allocation benchmark gate exists to forbid. The pooled
+//     AtCall/AfterCall form, or hoisting the captured state into a
+//     reused record, is the fix.
+//
 // A finding can be suppressed only by an explicit escape hatch on the
 // offending line (or the line above):
 //
 //	//lint:allow <analyzer> <reason>
 //
-// where <reason> is mandatory. The three analyzer names are
-// "exhaustive-switch", "handler-completeness" and "determinism".
+// where <reason> is mandatory. The analyzer names are
+// "exhaustive-switch", "handler-completeness", "determinism" and
+// "closure-in-hotpath".
 //
 // The analyzers run in two places: `go run ./cmd/coherencelint ./...`
 // for build pipelines, and TestModuleIsLintClean in this package so that
@@ -50,6 +59,7 @@ const (
 	AnalyzerExhaustive  = "exhaustive-switch"
 	AnalyzerHandlers    = "handler-completeness"
 	AnalyzerDeterminism = "determinism"
+	AnalyzerHotPath     = "closure-in-hotpath"
 	// AnalyzerDirective reports malformed //lint:allow directives; it
 	// cannot itself be suppressed.
 	AnalyzerDirective = "allow-directive"
@@ -113,6 +123,12 @@ type Config struct {
 	// Every other determinism rule (math/rand, time.Now, map-order leaks)
 	// still applies to them. Default: <module>/internal/sweep.
 	Orchestrators []string
+	// HotPaths lists packages on the simulator's allocation-gated hot
+	// path: a kernel At/After call there whose closure captures a loop
+	// variable is a finding, because it allocates once per iteration —
+	// the pooled AtCall/AfterCall form exists for exactly that shape.
+	// Default: <module>/internal/network and <module>/internal/core.
+	HotPaths []string
 }
 
 func (c *Config) fill(mod *module) {
@@ -138,6 +154,9 @@ func (c *Config) fill(mod *module) {
 	if c.Orchestrators == nil {
 		c.Orchestrators = []string{mod.path + "/internal/sweep"}
 	}
+	if c.HotPaths == nil {
+		c.HotPaths = []string{mod.path + "/internal/network", mod.path + "/internal/core"}
+	}
 }
 
 // Run loads the module containing cfg.Dir and applies all three
@@ -155,6 +174,7 @@ func Run(cfg Config) ([]Diagnostic, error) {
 	diags = append(diags, checkExhaustive(mod)...)
 	diags = append(diags, checkHandlers(mod, cfg)...)
 	diags = append(diags, checkDeterminism(mod, cfg)...)
+	diags = append(diags, checkHotPath(mod, cfg)...)
 
 	kept := diags[:0]
 	for _, d := range diags {

@@ -129,6 +129,38 @@ func TestObsPassivityFixture(t *testing.T) {
 	})
 }
 
+func TestHotPathFixtures(t *testing.T) {
+	// Pooled scheduling, hoisted closures, and a documented //lint:allow
+	// are all clean.
+	expect(t, run(t, lint.Config{
+		Dir:      fixture(t, "hotpathgood"),
+		SimPath:  "hotpathgood/sim",
+		Scope:    "hotpathgood",
+		HotPaths: []string{"hotpathgood/net"},
+	}), nil)
+
+	// A closure capturing loop-scoped state inside a hot-path package is
+	// a finding, whether the loop is a range or a classic for.
+	expect(t, run(t, lint.Config{
+		Dir:      fixture(t, "hotpathbad"),
+		SimPath:  "hotpathbad/sim",
+		Scope:    "hotpathbad",
+		HotPaths: []string{"hotpathbad/net"},
+	}), []string{
+		"net/net.go:19:3: [closure-in-hotpath] hot-path package hotpathbad/net passes At a closure capturing loop variable d: one allocation per iteration; use the pooled AtCall form or hoist the state",
+		"net/net.go:23:3: [closure-in-hotpath] hot-path package hotpathbad/net passes After a closure capturing loop variable dst: one allocation per iteration; use the pooled AfterCall form or hoist the state",
+	})
+
+	// Outside the declared hot paths the same shape is legal: closures in
+	// cold code are a style choice, not an allocation-gate violation.
+	expect(t, run(t, lint.Config{
+		Dir:      fixture(t, "hotpathbad"),
+		SimPath:  "hotpathbad/sim",
+		Scope:    "hotpathbad",
+		HotPaths: []string{},
+	}), nil)
+}
+
 func TestOrchestratorFixtures(t *testing.T) {
 	// A declared orchestrator may start goroutines with no per-line
 	// directives; the rest of the module stays under the full analyzer.

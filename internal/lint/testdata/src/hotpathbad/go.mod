@@ -1,0 +1,3 @@
+module hotpathbad
+
+go 1.22

@@ -1,0 +1,34 @@
+// Package net is a hot-path package exhibiting the per-iteration closure
+// allocations the analyzer must reject; the test pins the positions.
+package net
+
+import "hotpathbad/sim"
+
+// Net fans messages out to destinations.
+type Net struct {
+	k    *sim.Kernel
+	dsts []int
+}
+
+func deliver(dst, m int) {}
+
+// Fanout schedules one delivery per destination. Both closures capture
+// the range variable, so each iteration allocates a fresh closure.
+func (n *Net) Fanout(m int) {
+	for _, d := range n.dsts {
+		n.k.At(int64(d), func() { deliver(d, m) })
+	}
+	for i := 0; i < len(n.dsts); i++ {
+		dst := n.dsts[i]
+		n.k.After(1, func() { deliver(dst, m) })
+	}
+}
+
+// Hoisted captures only function-scope state: the closure allocates once
+// per call, not per iteration, so the loop below it is clean.
+func (n *Net) Hoisted(m int) {
+	fn := func() { deliver(0, m) }
+	for i := 0; i < 4; i++ {
+		n.k.After(int64(i), fn)
+	}
+}

@@ -1,0 +1,3 @@
+module hotpathgood
+
+go 1.22

@@ -1,0 +1,44 @@
+// Package net is the hot-path package written the way the analyzer
+// demands: pooled scheduling in loops, closures only for per-call state,
+// and one documented //lint:allow for a cold loop.
+package net
+
+import "hotpathgood/sim"
+
+// Net fans messages out to destinations through the pooled form.
+type Net struct {
+	k    *sim.Kernel
+	dsts []int
+}
+
+func deliver(dst, m uint64) {}
+
+// Call implements sim.Caller.
+func (n *Net) Call(a0, a1 uint64) { deliver(a0, a1) }
+
+// Fanout schedules one pooled delivery per destination: no closures.
+func (n *Net) Fanout(m uint64) {
+	for _, d := range n.dsts {
+		n.k.AtCall(int64(d), n, uint64(d), m)
+	}
+}
+
+// Hoisted captures only function-scope state, which is legal even in a
+// hot-path package: the closure allocates once per call, not per
+// iteration.
+func (n *Net) Hoisted(m uint64) {
+	fn := func() { deliver(0, m) }
+	for i := 0; i < 4; i++ {
+		n.k.After(int64(i), fn)
+	}
+}
+
+// Setup runs once at construction; the per-iteration closure is a
+// deliberate, documented exception.
+func (n *Net) Setup() {
+	for _, d := range n.dsts {
+		dd := uint64(d)
+		//lint:allow closure-in-hotpath construction-time wiring, not the steady-state path
+		n.k.After(0, func() { deliver(dd, 0) })
+	}
+}

@@ -1,0 +1,22 @@
+// Package sim is a stand-in event kernel for the hot-path fixtures.
+package sim
+
+// Caller is the pooled event target.
+type Caller interface {
+	Call(a0, a1 uint64)
+}
+
+// Kernel is the event kernel.
+type Kernel struct{}
+
+// At schedules fn at absolute time t.
+func (k *Kernel) At(t int64, fn func()) {}
+
+// After schedules fn d cycles from now.
+func (k *Kernel) After(d int64, fn func()) {}
+
+// AtCall schedules the pooled event (c, a0, a1) at absolute time t.
+func (k *Kernel) AtCall(t int64, c Caller, a0, a1 uint64) {}
+
+// AfterCall schedules the pooled event (c, a0, a1) d cycles from now.
+func (k *Kernel) AfterCall(d int64, c Caller, a0, a1 uint64) {}

@@ -102,12 +102,27 @@ func (s *Stats) count(m msg.Message) {
 	}
 }
 
+// delivery is one in-flight message, pooled in the network's slab so the
+// delivery hot path never allocates a closure. Records are recycled
+// through an intrusive free list; the slab's length is the network's
+// in-flight high-water mark.
+type delivery struct {
+	src  NodeID
+	dst  NodeID
+	h    Handler
+	m    msg.Message
+	next int32 // free-list link, meaningful only while free
+}
+
 // base holds the bookkeeping all implementations share.
 type base struct {
 	kernel   *sim.Kernel
-	handlers map[NodeID]Handler
-	order    []NodeID // attachment order, for deterministic broadcast fan-out
+	handlers []Handler // dense by NodeID; nil = unattached
+	order    []NodeID  // attachment order, for deterministic broadcast fan-out
 	stats    Stats
+
+	pool     []delivery
+	freeHead int32 // index of the first free slab record, -1 when none
 
 	// Observability (all nil/empty when no recorder is attached).
 	rec       *obs.Recorder
@@ -118,14 +133,20 @@ type base struct {
 }
 
 func newBase(k *sim.Kernel) base {
-	return base{kernel: k, handlers: make(map[NodeID]Handler)}
+	return base{kernel: k, freeHead: -1}
 }
 
 func (b *base) Attach(id NodeID, h Handler) {
 	if h == nil {
 		panic("network: Attach with nil handler")
 	}
-	if _, dup := b.handlers[id]; dup {
+	if id < 0 {
+		panic(fmt.Sprintf("network: negative node id %d", id))
+	}
+	for int(id) >= len(b.handlers) {
+		b.handlers = append(b.handlers, nil)
+	}
+	if b.handlers[id] != nil {
 		panic(fmt.Sprintf("network: node %d attached twice", id))
 	}
 	b.handlers[id] = h
@@ -167,26 +188,50 @@ func (b *base) trackFor(id NodeID) obs.Component {
 	return b.track[id]
 }
 
-// deliver counts one message and returns the delivery action to
-// schedule. With a recorder attached the action is wrapped in a span on
-// the destination's track, so handler dispatch shows up as occupancy in
-// the exported trace; without one it is the plain closure the network
-// always scheduled.
-func (b *base) deliver(src, dst NodeID, h Handler, m msg.Message) func() {
+// scheduleDeliver counts one message and schedules its delivery at time
+// at through the kernel's pooled event form: the delivery record lives
+// in the network's slab, so the per-message cost is one slab write and
+// one heap push — no closure, and no allocation once the slab has grown
+// to the network's in-flight high-water mark. This is the path every
+// broadcast copy takes, which is exactly the fan-out the two-bit
+// scheme's broadcast bet multiplies.
+func (b *base) scheduleDeliver(at sim.Time, src, dst NodeID, h Handler, m msg.Message) {
 	b.stats.count(m)
-	if b.rec == nil {
-		return func() { h.Deliver(src, m) }
+	if b.rec != nil {
+		b.obsSends.Inc()
+		b.trackFor(dst) // pre-register so Call never grows b.track
 	}
-	b.obsSends.Inc()
-	comp := b.trackFor(dst)
+	idx := b.freeHead
+	if idx < 0 {
+		b.pool = append(b.pool, delivery{})
+		idx = int32(len(b.pool) - 1)
+	} else {
+		b.freeHead = b.pool[idx].next
+	}
+	b.pool[idx] = delivery{src: src, dst: dst, h: h, m: m}
+	b.kernel.AtCall(at, b, uint64(idx), 0)
+}
+
+// Call implements sim.Caller: it executes the pooled delivery a0 indexes
+// and recycles its record. With a recorder attached the handler dispatch
+// is wrapped in a span on the destination's track, so it shows up as
+// occupancy in the exported trace.
+func (b *base) Call(a0, _ uint64) {
+	d := &b.pool[a0]
+	src, dst, h, m := d.src, d.dst, d.h, d.m
+	d.h = nil // drop the handler reference while the record idles
+	d.next = b.freeHead
+	b.freeHead = int32(a0)
+	if b.rec == nil {
+		h.Deliver(src, m)
+		return
+	}
+	comp := b.track[dst]
 	name := deliverName(m.Kind)
 	block := int64(m.Block)
-	rec := b.rec
-	return func() {
-		rec.Begin(comp, name, block)
-		h.Deliver(src, m)
-		rec.End(comp, name, block)
-	}
+	b.rec.Begin(comp, name, block)
+	h.Deliver(src, m)
+	b.rec.End(comp, name, block)
 }
 
 // noteBroadcast records one broadcast operation's fan-out.
@@ -195,11 +240,10 @@ func (b *base) noteBroadcast(n int) {
 }
 
 func (b *base) handler(id NodeID) Handler {
-	h, ok := b.handlers[id]
-	if !ok {
+	if id < 0 || int(id) >= len(b.handlers) || b.handlers[id] == nil {
 		panic(fmt.Sprintf("network: send to unattached node %d", id))
 	}
-	return h
+	return b.handlers[id]
 }
 
 func excluded(id NodeID, src NodeID, except []NodeID) bool {
@@ -225,7 +269,8 @@ type Crossbar struct {
 	latency sim.Time
 	jitter  sim.Time // max extra delay per message (0 = deterministic)
 	random  *rng.PCG
-	// lastAt enforces per-pair FIFO under jitter.
+	// lastAt enforces per-pair FIFO under jitter; nil when jitter is 0
+	// (the clamp is unreachable then — see Send).
 	lastAt map[[2]NodeID]sim.Time
 }
 
@@ -240,13 +285,16 @@ func NewJitterCrossbar(k *sim.Kernel, latency, jitter sim.Time, seed uint64) *Cr
 	if latency < 0 || jitter < 0 {
 		panic("network: negative latency or jitter")
 	}
-	return &Crossbar{
+	c := &Crossbar{
 		base:    newBase(k),
 		latency: latency,
 		jitter:  jitter,
 		random:  rng.New(seed, 0x17e7),
-		lastAt:  make(map[[2]NodeID]sim.Time),
 	}
+	if jitter > 0 {
+		c.lastAt = make(map[[2]NodeID]sim.Time)
+	}
+	return c
 }
 
 // Send implements Network.
@@ -254,14 +302,17 @@ func (c *Crossbar) Send(src, dst NodeID, m msg.Message) {
 	h := c.handler(dst)
 	at := c.kernel.Now() + c.latency
 	if c.jitter > 0 {
+		// The FIFO clamp is only reachable under jitter: without it the
+		// delivery time is Now()+latency, which is nondecreasing per pair
+		// because the kernel clock never runs backward.
 		at += sim.Time(c.random.Intn(int(c.jitter) + 1))
+		key := [2]NodeID{src, dst}
+		if prev := c.lastAt[key]; at < prev {
+			at = prev
+		}
+		c.lastAt[key] = at
 	}
-	key := [2]NodeID{src, dst}
-	if prev := c.lastAt[key]; at < prev {
-		at = prev
-	}
-	c.lastAt[key] = at
-	c.kernel.At(at, c.deliver(src, dst, h, m))
+	c.scheduleDeliver(at, src, dst, h, m)
 }
 
 // Broadcast implements Network: one message per destination (no hardware
@@ -319,7 +370,7 @@ func (b *Bus) acquire() sim.Time {
 func (b *Bus) Send(src, dst NodeID, m msg.Message) {
 	h := b.handler(dst)
 	at := b.acquire()
-	b.kernel.At(at, b.deliver(src, dst, h, m))
+	b.scheduleDeliver(at, src, dst, h, m)
 }
 
 // Broadcast implements Network: one bus transaction, snooped by everyone.
@@ -333,7 +384,7 @@ func (b *Bus) Broadcast(src NodeID, m msg.Message, except ...NodeID) int {
 		}
 		h := b.handlers[id]
 		b.stats.BroadcastCopies.Inc()
-		b.kernel.At(at, b.deliver(src, id, h, m))
+		b.scheduleDeliver(at, src, id, h, m)
 		n++
 	}
 	b.noteBroadcast(n)
@@ -422,7 +473,7 @@ func (o *Omega) route(src, dst NodeID) sim.Time {
 func (o *Omega) Send(src, dst NodeID, m msg.Message) {
 	h := o.handler(dst)
 	at := o.route(src, dst)
-	o.kernel.At(at, o.deliver(src, dst, h, m))
+	o.scheduleDeliver(at, src, dst, h, m)
 }
 
 // Broadcast implements Network: no hardware broadcast; one routed message

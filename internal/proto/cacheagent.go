@@ -59,7 +59,17 @@ type CacheAgent struct {
 	store  *cache.Cache
 	stats  CacheSideStats
 
-	pend *pendingRef
+	// pend is the in-flight processor reference; a value field (guarded
+	// by pendActive) so issuing a reference allocates nothing.
+	pend       pendingRef
+	pendActive bool
+
+	// Deferred completion scheduled through the kernel's pooled event
+	// form (see complete). At most one reference is outstanding per
+	// agent, so one slot suffices and the hot path never allocates a
+	// closure per completion.
+	compDone  func(uint64)
+	compBlock int64
 
 	rec       *obs.Recorder
 	comp      obs.Component  // "cache<k>" trace track
@@ -109,7 +119,7 @@ func (a *CacheAgent) Store() *cache.Cache { return a.store }
 func (a *CacheAgent) SideStats() *CacheSideStats { return &a.stats }
 
 // Busy reports whether a processor reference is outstanding.
-func (a *CacheAgent) Busy() bool { return a.pend != nil }
+func (a *CacheAgent) Busy() bool { return a.pendActive }
 
 func (a *CacheAgent) node() network.NodeID { return a.cfg.Topo.CacheNode(a.cfg.Index) }
 
@@ -127,7 +137,7 @@ func (a *CacheAgent) commit(b addr.Block, v uint64) {
 // outstanding: the simulated processors block on memory accesses, and an
 // overlap always indicates a harness bug.
 func (a *CacheAgent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)) {
-	if a.pend != nil {
+	if a.pendActive {
 		panic(fmt.Sprintf("proto: cache %d: overlapping references", a.cfg.Index))
 	}
 	if done == nil {
@@ -151,14 +161,31 @@ func (a *CacheAgent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)
 
 // complete closes the reference span and runs done after the fill/hit
 // latency — the single completion path all references share, so every
-// Begin emitted by Access is closed by exactly one End.
+// Begin emitted by Access is closed by exactly one End. The deferral
+// rides the kernel's pooled event form: the processor blocks until done
+// runs, so one completion slot per agent is enough and no closure is
+// allocated.
 func (a *CacheAgent) complete(ref addr.Ref, v uint64, done func(uint64)) {
-	name := refName(ref.Write)
-	block := int64(ref.Block)
-	a.kernel.After(a.cfg.Lat.CacheHit, func() {
-		a.rec.End(a.comp, name, block)
-		done(v)
-	})
+	if a.compDone != nil {
+		panic(fmt.Sprintf("proto: cache %d: overlapping completions", a.cfg.Index))
+	}
+	a.compDone = done
+	a.compBlock = int64(ref.Block)
+	var w uint64
+	if ref.Write {
+		w = 1
+	}
+	a.kernel.AfterCall(a.cfg.Lat.CacheHit, a, v, w)
+}
+
+// Call implements sim.Caller: it runs the deferred completion scheduled
+// by complete. a0 carries the value returned to the processor; a1 is 1
+// for a write reference (it selects the span name).
+func (a *CacheAgent) Call(a0, a1 uint64) {
+	done := a.compDone
+	a.compDone = nil
+	a.rec.End(a.comp, refName(a1 == 1), a.compBlock)
+	done(a0)
 }
 
 // hit handles the two purely local cases (read hit; write hit on modified)
@@ -183,7 +210,8 @@ func (a *CacheAgent) hit(ref addr.Ref, f *cache.Frame, writeVersion uint64, done
 		return
 	}
 	// §3.2.4: write hit on previously unmodified block — MREQUEST.
-	a.pend = &pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitMGrant, issuedAt: a.kernel.Now()}
+	a.pend = pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitMGrant, issuedAt: a.kernel.Now()}
+	a.pendActive = true
 	a.stats.MRequestsSent.Inc()
 	a.send(a.cfg.Topo.CtrlFor(ref.Block), msg.Message{
 		Kind: msg.KindMRequest, Block: ref.Block, Cache: a.cfg.Index,
@@ -197,7 +225,8 @@ func (a *CacheAgent) miss(ref addr.Ref, writeVersion uint64, done func(uint64)) 
 	if ref.Write {
 		rw = msg.Write
 	}
-	a.pend = &pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitGet, issuedAt: a.kernel.Now()}
+	a.pend = pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitGet, issuedAt: a.kernel.Now()}
+	a.pendActive = true
 	a.send(a.cfg.Topo.CtrlFor(ref.Block), msg.Message{
 		Kind: msg.KindRequest, Block: ref.Block, Cache: a.cfg.Index, RW: rw,
 	})
@@ -263,7 +292,7 @@ func (a *CacheAgent) handleInvalidate(m msg.Message) {
 		a.stats.UselessCommands.Inc()
 	}
 	// §3.2.5: a BROADINV overtaking our MREQUEST acts as MGRANTED(·,false).
-	if a.pend != nil && a.pend.phase == pendAwaitMGrant && a.pend.ref.Block == m.Block {
+	if a.pendActive && a.pend.phase == pendAwaitMGrant && a.pend.ref.Block == m.Block {
 		a.stats.MRequestsConverted.Inc()
 		a.rec.Emit(a.comp, "mreq converted", int64(m.Block), 0)
 		a.reissueAsWriteMiss()
@@ -296,7 +325,7 @@ func (a *CacheAgent) handleQuery(src network.NodeID, m msg.Message) {
 }
 
 func (a *CacheAgent) handleMGranted(m msg.Message) {
-	if a.pend == nil || a.pend.phase != pendAwaitMGrant || a.pend.ref.Block != m.Block {
+	if !a.pendActive || a.pend.phase != pendAwaitMGrant || a.pend.ref.Block != m.Block {
 		// Spurious: we already converted on a BROADINV (§3.2.5) or the
 		// denial crossed our retry. The conversion path has taken over; a
 		// positive grant must be refused so the controller does not record
@@ -353,7 +382,7 @@ func (a *CacheAgent) reissueAsWriteMiss() {
 }
 
 func (a *CacheAgent) handleGet(m msg.Message) {
-	if a.pend == nil || a.pend.phase != pendAwaitGet || a.pend.ref.Block != m.Block {
+	if !a.pendActive || a.pend.phase != pendAwaitGet || a.pend.ref.Block != m.Block {
 		panic(fmt.Sprintf("proto: cache %d: unsolicited %v", a.cfg.Index, m))
 	}
 	// The frame freed at miss time is still free (only gets fill frames,
@@ -380,6 +409,7 @@ func (a *CacheAgent) handleGet(m msg.Message) {
 func (a *CacheAgent) finish(v uint64) {
 	a.obsRemote.Observe(uint64(a.kernel.Now() - a.pend.issuedAt))
 	ref, done := a.pend.ref, a.pend.done
-	a.pend = nil
+	a.pend = pendingRef{}
+	a.pendActive = false
 	a.complete(ref, v, done)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"testing"
+
+	"twobit/internal/sim"
 )
 
 // runForHash executes one seeded simulation and returns the results plus
@@ -21,6 +23,55 @@ func runForHash(t *testing.T, cfg Config, refs int) (Results, uint64) {
 		t.Fatal(err)
 	}
 	return res, h.Sum64()
+}
+
+// runOnKernel executes one seeded simulation on the supplied kernel and
+// returns the stable results encoding plus a trace hash.
+func runOnKernel(t *testing.T, k *sim.Kernel, cfg Config, refs int) ([]byte, uint64) {
+	t.Helper()
+	h := fnv.New64a()
+	cfg.TraceWriter = h
+	m, err := NewOnKernel(cfg, sharingGen(cfg.Procs, 7), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := res.EncodeStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, h.Sum64()
+}
+
+// TestKernelResetReuse pins the Reset/reuse contract the pooled event
+// storage introduces: two back-to-back simulations on one kernel — the
+// second scheduling into event storage the first already grew and used —
+// must produce results and traces byte-identical to the same simulation
+// on a fresh kernel. Any state leaking through the reused backing array
+// (a stale sequence counter, a surviving event, a non-zero clock) shows
+// up here.
+func TestKernelResetReuse(t *testing.T) {
+	cfg := DefaultConfig(TwoBit, 4)
+	cfg.Seed = 42
+
+	fresh, freshHash := runOnKernel(t, &sim.Kernel{}, cfg, 800)
+
+	k := &sim.Kernel{}
+	first, firstHash := runOnKernel(t, k, cfg, 800)
+	if string(first) != string(fresh) || firstHash != freshHash {
+		t.Fatal("first run on the shared kernel differs from the fresh-kernel run")
+	}
+	k.Reset()
+	second, secondHash := runOnKernel(t, k, cfg, 800)
+	if string(second) != string(fresh) {
+		t.Errorf("second run on a Reset kernel: results encoding differs from the fresh-kernel run")
+	}
+	if secondHash != freshHash {
+		t.Errorf("second run on a Reset kernel: trace hash %#x, fresh kernel %#x", secondHash, freshHash)
+	}
 }
 
 // TestRunsAreReproducible is the runtime counterpart of the static

@@ -228,12 +228,24 @@ type Machine struct {
 // New assembles a machine for cfg running gen. The address space is sized
 // from the generator.
 func New(cfg Config, gen workload.Generator) (*Machine, error) {
-	return newMachine(cfg, gen, nil)
+	return newMachine(cfg, gen, nil, nil)
 }
 
-// newMachine is New with an optional network override, used by the
-// model-checking tests to substitute a delivery-choice network.
-func newMachine(cfg Config, gen workload.Generator, netFactory func(*sim.Kernel) network.Network) (*Machine, error) {
+// NewOnKernel is New on a caller-supplied kernel, so one kernel's event
+// storage (grown to its high-water mark) can be reused across
+// simulations without reallocating. The kernel must be Reset between
+// machines; a run on a reused kernel is byte-identical to a run on a
+// fresh one (TestKernelResetReuse pins this). Note that a machine with
+// cfg.Obs set installs its profiling hook on the kernel, and Reset keeps
+// hooks — call SetHook(nil) before reusing such a kernel without obs.
+func NewOnKernel(cfg Config, gen workload.Generator, k *sim.Kernel) (*Machine, error) {
+	return newMachine(cfg, gen, k, nil)
+}
+
+// newMachine is New with an optional kernel and network override; the
+// model-checking tests use the latter to substitute a delivery-choice
+// network.
+func newMachine(cfg Config, gen workload.Generator, kernel *sim.Kernel, netFactory func(*sim.Kernel) network.Network) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -241,10 +253,13 @@ func newMachine(cfg Config, gen workload.Generator, netFactory func(*sim.Kernel)
 	if blocks < 1 {
 		return nil, fmt.Errorf("system: generator spans %d blocks", blocks)
 	}
+	if kernel == nil {
+		kernel = &sim.Kernel{}
+	}
 	m := &Machine{
 		cfg:    cfg,
 		gen:    gen,
-		kernel: &sim.Kernel{},
+		kernel: kernel,
 		topo:   proto.Topology{Caches: cfg.Procs, Modules: cfg.Modules, DMA: cfg.DMA.Devices},
 		space:  addr.Space{Blocks: blocks, Modules: cfg.Modules},
 	}
@@ -368,46 +383,78 @@ func (m *Machine) Run(refsPerProc int) (Results, error) {
 	return m.collect(refsPerProc), nil
 }
 
-// issue chains one processor's references: each new reference is issued
-// when the previous one completes.
+// issue chains one processor's references through a procDriver: each new
+// reference is issued when the previous one completes.
 func (m *Machine) issue(p, remaining int) {
-	ref := m.gen.Next(p)
+	newProcDriver(m, p, remaining).issue()
+}
+
+// procDriver drives one simulated processor through its reference
+// stream. The per-reference state lives in the driver and the completion
+// callback is bound once at construction, so issuing a reference
+// allocates nothing — the driver itself is the only allocation, one per
+// processor per run.
+type procDriver struct {
+	m           *Machine
+	p           int
+	remaining   int
+	ref         addr.Ref
+	version     uint64
+	issueLatest uint64
+	issuedAt    sim.Time
+	done        func(uint64) // complete, bound once
+}
+
+func newProcDriver(m *Machine, p, remaining int) *procDriver {
+	d := &procDriver{m: m, p: p, remaining: remaining}
+	d.done = d.complete
+	return d
+}
+
+func (d *procDriver) issue() {
+	m := d.m
+	ref := m.gen.Next(d.p)
 	if int(ref.Block) >= m.space.Blocks {
 		panic(fmt.Sprintf("system: generator produced %v beyond space of %d blocks", ref.Block, m.space.Blocks))
 	}
 	m.issuedRefs++
-	var version uint64
+	d.ref = ref
+	d.version = 0
 	if ref.Write {
 		m.nextVersion++
-		version = m.nextVersion
+		d.version = m.nextVersion
 	}
-	var issueLatest uint64
+	d.issueLatest = 0
 	if m.oracle != nil {
-		issueLatest = m.oracle.Latest(ref.Block)
+		d.issueLatest = m.oracle.Latest(ref.Block)
 	}
-	issuedAt := m.kernel.Now()
-	m.caches[p].Access(ref, version, func(got uint64) {
-		lat := uint64(m.kernel.Now() - issuedAt)
-		m.latencies.Observe(lat)
-		m.obsLatency.Observe(lat)
-		if ref.Shared {
-			m.sharedLatencies.Observe(lat)
-		}
-		if m.oracle != nil {
-			var err error
-			if ref.Write {
-				err = m.oracle.NoteWrite(p, ref.Block, version)
-			} else {
-				err = m.oracle.CheckLoad(p, ref.Block, issueLatest, got, m.strict)
-			}
-			if err != nil {
-				m.errs = append(m.errs, fmt.Errorf("proc %d: %w", p, err))
-			}
-		}
-		if remaining > 1 {
-			m.issue(p, remaining-1)
+	d.issuedAt = m.kernel.Now()
+	m.caches[d.p].Access(ref, d.version, d.done)
+}
+
+func (d *procDriver) complete(got uint64) {
+	m := d.m
+	lat := uint64(m.kernel.Now() - d.issuedAt)
+	m.latencies.Observe(lat)
+	m.obsLatency.Observe(lat)
+	if d.ref.Shared {
+		m.sharedLatencies.Observe(lat)
+	}
+	if m.oracle != nil {
+		var err error
+		if d.ref.Write {
+			err = m.oracle.NoteWrite(d.p, d.ref.Block, d.version)
 		} else {
-			m.completed++
+			err = m.oracle.CheckLoad(d.p, d.ref.Block, d.issueLatest, got, m.strict)
 		}
-	})
+		if err != nil {
+			m.errs = append(m.errs, fmt.Errorf("proc %d: %w", d.p, err))
+		}
+	}
+	if d.remaining > 1 {
+		d.remaining--
+		d.issue()
+	} else {
+		m.completed++
+	}
 }

@@ -44,12 +44,56 @@ END {
 echo "==> wrote $OUT"
 cat "$OUT"
 
+# Event-kernel baseline: schedule+drain throughput and allocation count
+# for the kernel hot path and the bus broadcast fan-out path. Archived in
+# the same invocation as BENCH_sweep.json so both carry the same commit
+# stamp and the sweep number can be read against the kernel number that
+# produced it.
+KERNEL_OUT=BENCH_kernel.json
+KERNEL_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERNEL_RAW"' EXIT
+
+echo "==> go test -bench BenchmarkKernel|BenchmarkBroadcastFanout -benchmem"
+go test -run '^$' -bench '^(BenchmarkKernel|BenchmarkBroadcastFanout)$' -benchmem -benchtime 20000x . | tee "$KERNEL_RAW"
+
+awk -v commit="$COMMIT" -v date="$DATE" '
+/^BenchmarkKernel/ {
+    for (i = 2; i <= NF; i++) {
+        if ($i == "events/s")  kev = $(i - 1)
+        if ($i == "allocs/op") kallocs = $(i - 1)
+    }
+    kseen = 1
+}
+/^BenchmarkBroadcastFanout\/nodes=/ {
+    split($1, parts, "=")
+    split(parts[2], w, "-")
+    for (i = 2; i <= NF; i++) {
+        if ($i == "deliveries/s") { rate[w[1]] = $(i - 1); if (!(w[1] in seen)) { order[++n] = w[1]; seen[w[1]] = 1 } }
+        if ($i == "allocs/op")    fallocs[w[1]] = $(i - 1)
+    }
+}
+END {
+    if (!kseen || n == 0) { print "bench.sh: kernel benchmarks did not report" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmark\": \"BenchmarkKernel\",\n"
+    printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+    printf "  \"kernel\": {\"events_per_second\": %s, \"allocs_per_op\": %s},\n", kev, kallocs
+    printf "  \"broadcast_fanout\": {\n"
+    for (i = 1; i <= n; i++) {
+        printf "    \"%s\": {\"deliveries_per_second\": %s, \"allocs_per_op\": %s}%s\n", \
+            order[i], rate[order[i]], fallocs[order[i]], (i < n ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$KERNEL_RAW" > "$KERNEL_OUT"
+
+echo "==> wrote $KERNEL_OUT"
+cat "$KERNEL_OUT"
+
 # Observability overhead baseline: ns/op and allocs/op for the
 # instrumentation entry points with recording off (the nil-check path
 # every simulation pays) and on (the marginal cost of measuring).
 OBS_OUT=BENCH_obs.json
 OBS_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$OBS_RAW"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW"' EXIT
 
 echo "==> go test -bench BenchmarkObs(Disabled|Enabled) -benchmem"
 go test -run '^$' -bench '^BenchmarkObs(Disabled|Enabled)$' -benchmem -benchtime 2000000x . | tee "$OBS_RAW"

@@ -67,6 +67,23 @@ END {
     if (allocs + 0 != 0) { printf "check.sh: disabled obs path allocates (%s allocs/op)\n", allocs > "/dev/stderr"; exit 1 }
 }'
 
+echo "==> kernel zero-alloc guard + order oracle"
+# The event kernel's schedule+drain path must not allocate: an allocation
+# per event would tax every simulated cycle. The order oracle replays the
+# retired container/heap implementation against the inlined 4-ary heap
+# and fails on the first divergent pop.
+KERNEL_BENCH="$(go test -run '^$' -bench '^BenchmarkKernel$' -benchmem -benchtime 1000x .)"
+echo "$KERNEL_BENCH"
+echo "$KERNEL_BENCH" | awk '
+/^BenchmarkKernel/ {
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") { allocs = $(i - 1); found = 1 }
+}
+END {
+    if (!found) { print "check.sh: BenchmarkKernel did not report allocs/op" > "/dev/stderr"; exit 1 }
+    if (allocs + 0 != 0) { printf "check.sh: kernel hot path allocates (%s allocs/op)\n", allocs > "/dev/stderr"; exit 1 }
+}'
+go test -run '^TestKernelOrderOracle' -count=1 ./internal/sim
+
 echo "==> trace export determinism"
 cat > "$SMOKE/traceplan.json" <<'EOF2'
 {
