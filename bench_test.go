@@ -561,3 +561,34 @@ func BenchmarkObsMachine(b *testing.B) {
 		})
 	}
 }
+
+// spanBenchBody is the shared loop for the spans pair: one reference
+// worth of span bookkeeping — open, three phase boundaries, close —
+// against whatever span recorder it is handed.
+func spanBenchBody(b *testing.B, sp *obs.SpanRecorder) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i & 3
+		sp.Start(c, obs.ClassReadMiss, int64(i&1023))
+		sp.Mark(c, obs.PhaseReqTransit)
+		sp.Mark(c, obs.PhaseMemory)
+		sp.Mark(c, obs.PhaseDataReturn)
+		sp.Finish(c)
+	}
+}
+
+// BenchmarkSpansDisabled (E-spans) measures the transaction-span hooks
+// with spans off: like the obs pair above, every call must dissolve
+// into a nil check, and the scripts/check.sh gate fails the build if
+// this path allocates.
+func BenchmarkSpansDisabled(b *testing.B) {
+	spanBenchBody(b, nil)
+}
+
+// BenchmarkSpansEnabled is the same body against a live span recorder
+// in matrix-only mode (no per-span retention — the sweep campaign
+// configuration): the marginal cost of latency attribution.
+func BenchmarkSpansEnabled(b *testing.B) {
+	spanBenchBody(b, obs.New(0).EnableSpans(0))
+}

@@ -1,0 +1,192 @@
+// Command benchdiff compares a freshly measured benchmark baseline
+// against a committed one and fails on regressions, turning the
+// BENCH_*.json files from passive archives into a gate:
+//
+//	benchdiff -baseline BENCH_sweep.json -fresh /tmp/BENCH_sweep.json
+//
+// The two files are flattened to their numeric leaves and each metric is
+// classified by its key path:
+//
+//   - allocs_per_op: zero tolerance — any increase is a regression. The
+//     hot paths promise 0 allocs/op, and "one small allocation" per event
+//     is exactly the kind of tax that compounds invisibly.
+//   - *_per_second, and the workers.* grid of BENCH_sweep.json: higher is
+//     better; a drop of more than -max-regress (default 10%) fails.
+//   - ns_per_op: lower is better; a rise of more than -max-regress fails.
+//   - everything else (commit stamps, dates): informational, never fails.
+//
+// Exit status: 0 clean, 1 regression found, 2 usage or parse error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON file")
+	fresh := flag.String("fresh", "", "freshly measured JSON file to judge")
+	maxRegress := flag.Float64("max-regress", 0.10, "tolerated fractional throughput loss / latency gain")
+	skipMissing := flag.Bool("skip-missing", false, "tolerate metrics present in only one file (renamed or new benchmarks)")
+	flag.Parse()
+
+	if *baseline == "" || *fresh == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: need both -baseline and -fresh")
+		os.Exit(2)
+	}
+	old, err := loadMetrics(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadMetrics(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	regressions, err := diff(os.Stdout, old, cur, *maxRegress, *skipMissing)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s\n", regressions, *baseline)
+		os.Exit(1)
+	}
+}
+
+// loadMetrics parses a baseline file into its numeric leaves, keyed by
+// dotted path.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flatten("", doc, out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no numeric metrics found", path)
+	}
+	return out, nil
+}
+
+// flatten walks the JSON tree depth-first collecting numeric leaves.
+// Map keys are visited in sorted order so report order is stable.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, t[k], out)
+		}
+	case []any:
+		for i, e := range t {
+			flatten(fmt.Sprintf("%s.%d", prefix, i), e, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+type metricKind int
+
+const (
+	informational metricKind = iota
+	higherBetter             // throughput: *_per_second, workers.*
+	lowerBetter              // latency: ns_per_op
+	zeroTolerance            // allocs_per_op
+)
+
+func classify(path string) metricKind {
+	leaf := path
+	if i := strings.LastIndex(path, "."); i >= 0 {
+		leaf = path[i+1:]
+	}
+	switch {
+	case leaf == "allocs_per_op":
+		return zeroTolerance
+	case strings.HasSuffix(leaf, "_per_second"):
+		return higherBetter
+	case strings.HasPrefix(path, "workers."): // BENCH_sweep.json: runs/s by worker count
+		return higherBetter
+	case leaf == "ns_per_op":
+		return lowerBetter
+	default:
+		return informational
+	}
+}
+
+// diff renders the comparison and returns the regression count.
+func diff(w io.Writer, old, cur map[string]float64, maxRegress float64, skipMissing bool) (int, error) {
+	paths := make([]string, 0, len(old))
+	for p := range old {
+		paths = append(paths, p)
+	}
+	for p := range cur {
+		if _, ok := old[p]; !ok {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	regressions := 0
+	for _, p := range paths {
+		o, haveOld := old[p]
+		c, haveCur := cur[p]
+		if !haveOld || !haveCur {
+			if !skipMissing {
+				return 0, fmt.Errorf("metric %q present in only one file (use -skip-missing to tolerate renames)", p)
+			}
+			fmt.Fprintf(w, "  %-44s %12s → %-12s  skipped\n", p, num(o, haveOld), num(c, haveCur))
+			continue
+		}
+		kind := classify(p)
+		verdict := "ok"
+		switch kind {
+		case informational:
+			verdict = "info"
+		case zeroTolerance:
+			if c > o {
+				verdict = "REGRESSION (allocation count grew)"
+				regressions++
+			}
+		case higherBetter:
+			if o > 0 && c < o*(1-maxRegress) {
+				verdict = fmt.Sprintf("REGRESSION (%.1f%% below baseline)", (1-c/o)*100)
+				regressions++
+			}
+		case lowerBetter:
+			if o > 0 && c > o*(1+maxRegress) {
+				verdict = fmt.Sprintf("REGRESSION (%.1f%% above baseline)", (c/o-1)*100)
+				regressions++
+			}
+		}
+		fmt.Fprintf(w, "  %-44s %12g → %-12g  %s\n", p, o, c, verdict)
+	}
+	return regressions, nil
+}
+
+func num(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%g", v)
+}

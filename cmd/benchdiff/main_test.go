@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJSON(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseline = `{
+  "benchmark": "BenchmarkKernel",
+  "commit": "abc1234",
+  "kernel": {"events_per_second": 20000000, "allocs_per_op": 0},
+  "workers": {"1": 350, "4": 360},
+  "disabled": {"ns_per_op": 6.0, "allocs_per_op": 0}
+}`
+
+func load(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	m, err := loadMetrics(writeJSON(t, "b.json", body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFlattenPaths(t *testing.T) {
+	m := load(t, baseline)
+	want := map[string]float64{
+		"kernel.events_per_second": 20000000,
+		"kernel.allocs_per_op":     0,
+		"workers.1":                350,
+		"workers.4":                360,
+		"disabled.ns_per_op":       6.0,
+		"disabled.allocs_per_op":   0,
+	}
+	for p, v := range want {
+		if m[p] != v {
+			t.Errorf("%s = %v, want %v", p, m[p], v)
+		}
+	}
+	if _, ok := m["commit"]; ok {
+		t.Error("string leaf flattened as a metric")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]metricKind{
+		"kernel.allocs_per_op":     zeroTolerance,
+		"kernel.events_per_second": higherBetter,
+		"workers.8":                higherBetter,
+		"disabled.ns_per_op":       lowerBetter,
+		"benchmark":                informational,
+	}
+	for p, want := range cases {
+		if got := classify(p); got != want {
+			t.Errorf("classify(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestIdenticalFilesPass(t *testing.T) {
+	m := load(t, baseline)
+	var sb strings.Builder
+	n, err := diff(&sb, m, m, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("identical files reported %d regressions:\n%s", n, sb.String())
+	}
+}
+
+func TestThroughputRegressionFails(t *testing.T) {
+	old := load(t, baseline)
+	cur := load(t, strings.Replace(baseline, `"1": 350`, `"1": 300`, 1)) // −14%
+	var sb strings.Builder
+	n, err := diff(&sb, old, cur, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("−14%% throughput: %d regressions, want 1:\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("report lacks REGRESSION marker:\n%s", sb.String())
+	}
+}
+
+func TestThroughputWithinToleranceOK(t *testing.T) {
+	old := load(t, baseline)
+	cur := load(t, strings.Replace(baseline, `"1": 350`, `"1": 330`, 1)) // −5.7%
+	var sb strings.Builder
+	n, err := diff(&sb, old, cur, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("−5.7%% throughput inside 10%% tolerance failed:\n%s", sb.String())
+	}
+}
+
+func TestAnyAllocIncreaseFails(t *testing.T) {
+	old := load(t, baseline)
+	cur := load(t, strings.Replace(baseline, `"events_per_second": 20000000, "allocs_per_op": 0`,
+		`"events_per_second": 20000000, "allocs_per_op": 1`, 1))
+	var sb strings.Builder
+	n, err := diff(&sb, old, cur, 0.10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("allocs 0→1: %d regressions, want 1 (zero tolerance):\n%s", n, sb.String())
+	}
+}
+
+func TestLatencyRegressionFails(t *testing.T) {
+	old := load(t, baseline)
+	cur := load(t, strings.Replace(baseline, `"ns_per_op": 6.0`, `"ns_per_op": 7.5`, 1)) // +25%
+	var sb strings.Builder
+	if n, _ := diff(&sb, old, cur, 0.10, false); n != 1 {
+		t.Errorf("+25%% ns/op: %d regressions, want 1:\n%s", n, sb.String())
+	}
+}
+
+func TestImprovementsPass(t *testing.T) {
+	old := load(t, baseline)
+	better := strings.NewReplacer(
+		`"1": 350`, `"1": 700`, // faster
+		`"ns_per_op": 6.0`, `"ns_per_op": 3.0`, // cheaper
+	).Replace(baseline)
+	cur := load(t, better)
+	var sb strings.Builder
+	if n, _ := diff(&sb, old, cur, 0.10, false); n != 0 {
+		t.Errorf("improvements flagged as regressions:\n%s", sb.String())
+	}
+}
+
+func TestMissingMetricErrorsUnlessSkipped(t *testing.T) {
+	old := load(t, baseline)
+	cur := load(t, strings.Replace(baseline, `"workers": {"1": 350, "4": 360},`, ``, 1))
+	var sb strings.Builder
+	if _, err := diff(&sb, old, cur, 0.10, false); err == nil {
+		t.Error("missing metric tolerated without -skip-missing")
+	}
+	n, err := diff(&sb, old, cur, 0.10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("skipped metrics counted as regressions:\n%s", sb.String())
+	}
+}

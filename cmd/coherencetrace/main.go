@@ -10,12 +10,22 @@
 //	coherencetrace -plan plan.json -run 12 -addr 42                # one block's transactions
 //	coherencetrace -plan plan.json -run 12 -from 100 -to 500       # a tick window
 //	coherencetrace -plan plan.json -run 12 -format summary         # counters + histograms as text
+//	coherencetrace -plan plan.json -run 12 -format spans           # per-reference transaction spans
+//	coherencetrace -plan plan.json -run 12 -format spans -txn 812  # one transaction's causal chain
+//	coherencetrace -plan plan.json -run 12 -format spans -class write_miss
+//
+// The spans format renders each memory reference as a flame-style span
+// on its cache's track — the class span on top, its latency phases
+// (req_transit, queue, memory, writeback, data_return, ...) tiling it
+// below, with flow arrows chaining the phases causally. It is the
+// per-transaction view of the Table 4-1 latency attribution matrix.
 //
 // The replay is deterministic: the same plan and run id export the same
 // bytes on every invocation, so traces diff cleanly across code changes.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -38,12 +48,14 @@ func main() {
 func run() error {
 	planPath := flag.String("plan", "", "campaign plan JSON file ('-' for stdin)")
 	runID := flag.Int("run", 0, "run id within the plan to replay (see sweep's store)")
-	format := flag.String("format", "chrome", "output: chrome (trace-event JSON) or summary (metrics text)")
+	format := flag.String("format", "chrome", "output: chrome (trace-event JSON), spans (transaction-span JSON), or summary (metrics text)")
 	components := flag.String("component", "", "comma-separated track filter (e.g. cache0,ctrl1,net); empty keeps all")
-	addrFlag := flag.Int64("addr", -1, "keep only events for this block address (-1 keeps all)")
+	addrFlag := flag.Int64("addr", -1, "keep only events/spans for this block address (-1 keeps all)")
+	txn := flag.Int64("txn", -1, "spans format: keep only this transaction id (-1 keeps all)")
+	class := flag.String("class", "", "spans format: keep only this reference class (read_miss, write_upgrade, ...)")
 	from := flag.Int64("from", 0, "keep only events at tick ≥ from")
 	to := flag.Int64("to", 0, "keep only events at tick ≤ to (0 = unbounded)")
-	ring := flag.Int("ring", obs.DefaultRingCapacity, "event ring capacity; oldest events drop beyond this")
+	ring := flag.Int("ring", obs.DefaultRingCapacity, "event ring capacity; oldest events drop beyond this (also bounds span retention)")
 	out := flag.String("o", "", "output path (default stdout)")
 	flag.Parse()
 
@@ -55,21 +67,34 @@ func run() error {
 		return err
 	}
 
-	rec := obs.New(*ring)
+	spansMode := *format == "spans"
+	ringCap := *ring
+	if spansMode {
+		ringCap = 0 // spans bypass the event ring; skip its allocation
+	}
+	rec := obs.New(ringCap)
+	if spansMode {
+		rec.EnableSpans(*ring)
+	}
 	res, err := sweep.TracePoint(plan, *runID, rec)
 	if err != nil {
 		return err
 	}
 
-	w := io.Writer(os.Stdout)
+	// Stream through one buffer regardless of destination: trace exports
+	// run to hundreds of thousands of lines, and writing them unbuffered
+	// to stdout costs a syscall per event.
+	dst := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		w = f
+		dst = f
 	}
+	w := bufio.NewWriterSize(dst, 1<<16)
+	defer w.Flush()
 
 	switch *format {
 	case "chrome":
@@ -89,11 +114,29 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "note: ring dropped %d oldest events; rerun with -ring %d for the full run\n",
 				n, nextPow2(rec.EventCount()+int(n)))
 		}
-		return nil
+		return w.Flush()
+	case "spans":
+		f := obs.SpanFilter{
+			Txn:      *txn,
+			Class:    *class,
+			HasBlock: *addrFlag >= 0,
+			Block:    *addrFlag,
+		}
+		if err := obs.WriteSpanTrace(w, rec.Spans(), f); err != nil {
+			return err
+		}
+		if n := rec.Spans().Truncated(); n > 0 {
+			fmt.Fprintf(os.Stderr, "note: span retention dropped %d newest spans; rerun with -ring %d for the full run\n",
+				n, nextPow2(len(rec.Spans().Finished())+int(n)))
+		}
+		return w.Flush()
 	case "summary":
-		return writeSummary(w, rec, res)
+		if err := writeSummary(w, rec, res); err != nil {
+			return err
+		}
+		return w.Flush()
 	default:
-		return fmt.Errorf("unknown -format %q (want chrome or summary)", *format)
+		return fmt.Errorf("unknown -format %q (want chrome, spans, or summary)", *format)
 	}
 }
 

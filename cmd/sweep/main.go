@@ -13,12 +13,26 @@
 // to the byte-identical store. The aggregate view (mean over replicates,
 // with min/max under -spread) folds the store into Table 4-1/4-2-shaped
 // grids: rows w, columns n, one section per (protocol, network, q).
+//
+// Long campaigns can opt into live telemetry:
+//
+//	sweep -plan plan.json -workers 8 -telemetry localhost:6060
+//
+// serves campaign progress (runs completed, runs/s, ETA, per-worker
+// utilization, checkpoint lag) as the "sweep" expvar at
+// /debug/vars, plus the standard pprof profiles at /debug/pprof/ for
+// diagnosing the orchestrator itself. Telemetry is wall-clock
+// bookkeeping about the worker pool only — an observed campaign writes
+// byte-identical stores.
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the telemetry mux
 	"os"
 
 	"twobit/internal/report"
@@ -43,6 +57,7 @@ func run() error {
 	listMetrics := flag.Bool("metrics", false, "list the aggregatable metrics and exit")
 	spread := flag.Bool("spread", false, "also print min/max grids across replicates")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	telemetry := flag.String("telemetry", "", "serve live campaign telemetry (expvar + pprof) on this address, e.g. localhost:6060")
 	flag.Parse()
 
 	if *example {
@@ -90,7 +105,23 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "resuming %s: %d/%d runs checkpointed in %s\n", plan.Name, done, total, storePath)
 		}
 	}
-	err = sweep.Execute(plan, *workers, done, func(rec sweep.Record) error {
+	var prog *sweep.Progress
+	if *telemetry != "" {
+		prog = sweep.NewProgress(plan.Name, total)
+		expvar.Publish("sweep", expvar.Func(func() any { return prog.Status() }))
+		ln := *telemetry
+		go func() {
+			// Best-effort: a campaign must not die because its debug port
+			// is taken.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			}
+		}()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "telemetry: http://%s/debug/vars (expvar \"sweep\"), /debug/pprof/\n", ln)
+		}
+	}
+	err = sweep.ExecuteObserved(plan, *workers, done, func(rec sweep.Record) error {
 		if err := st.Append(rec); err != nil {
 			return err
 		}
@@ -99,7 +130,7 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
 		}
 		return nil
-	})
+	}, prog)
 	if cerr := st.Close(); err == nil {
 		err = cerr
 	}

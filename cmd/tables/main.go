@@ -18,6 +18,8 @@ import (
 	"os"
 
 	"twobit"
+	"twobit/internal/model"
+	"twobit/internal/obs"
 	"twobit/internal/sweep"
 )
 
@@ -29,6 +31,7 @@ func main() {
 	sim := flag.Bool("sim", false, "measure the tables by simulation through the sweep engine instead of the models")
 	workers := flag.Int("workers", 1, "worker goroutines for -sim (the grids are identical for any value)")
 	refs := flag.Int("refs", 2000, "references per processor for -sim")
+	latency := flag.Bool("latency", false, "with -sim, also print Table 4-1 (measured): the per-reference latency attribution matrix (phase × class) from transaction spans")
 	flag.Parse()
 
 	if *cost {
@@ -46,7 +49,7 @@ func main() {
 	}
 
 	if *sim {
-		if err := printSim(*table, *workers, *refs); err != nil {
+		if err := printSim(*table, *workers, *refs, *latency); err != nil {
 			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 			os.Exit(1)
 		}
@@ -90,8 +93,9 @@ func simPlan(refs int) *sweep.Plan {
 // simulated counterpart is the measured useless-command overhead (what a
 // full map would not have sent); Table 4-2's is the measured total
 // external commands per cache per reference.
-func printSim(table string, workers, refs int) error {
+func printSim(table string, workers, refs int, latency bool) error {
 	plan := simPlan(refs)
+	plan.Spans = latency
 	recs, err := sweep.Collect(plan, workers)
 	if err != nil {
 		return err
@@ -100,6 +104,12 @@ func printSim(table string, workers, refs int) error {
 		if err := printSimTable(plan, recs, "useless_per_ref",
 			"Table 4-1 (simulated): measured useless commands per cache per memory reference"); err != nil {
 			return err
+		}
+		if latency {
+			fmt.Println()
+			if err := printLatencyMatrix(recs); err != nil {
+				return err
+			}
 		}
 	}
 	if table == "all" {
@@ -129,6 +139,54 @@ func printSimTable(plan *sweep.Plan, recs []sweep.Record, metric, title string) 
 		g := gs.Mean
 		g.Title = cases[i] + ":"
 		if err := g.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printLatencyMatrix renders Table 4-1 (measured): for each sharing
+// case, the campaign's per-run span snapshots merged into one phase ×
+// reference-class latency attribution matrix. The merge is commutative
+// and associative, so the matrix is identical for any -workers value.
+// The analytic line above each matrix gives the paper's §4.2 overhead
+// terms at a representative grid point for side-by-side reading: the
+// closed form predicts broadcast overhead (commands), the matrix shows
+// where the resulting cycles actually went, phase by phase.
+func printLatencyMatrix(recs []sweep.Record) error {
+	fmt.Println("Table 4-1 (measured): per-reference latency attribution, phase × class, in sim cycles")
+	fmt.Println("(mean/p50/p99 over every reference in the campaign; share = fraction of the class's total latency)")
+	cases := model.Table41Cases()
+	const refN, refW = 16, 0.3 // analytic reference point: mid-grid
+	for i, q := range simQs {
+		var snaps []obs.Snapshot
+		for _, rec := range recs {
+			if rec.Q != q {
+				continue
+			}
+			res, err := rec.Decode()
+			if err != nil {
+				return err
+			}
+			if res.Obs == nil {
+				return fmt.Errorf("run %d carries no snapshot; campaign ran without spans", rec.RunID)
+			}
+			snaps = append(snaps, *res.Obs)
+		}
+		merged, err := obs.MergeAll(snaps...)
+		if err != nil {
+			return err
+		}
+		matrix, ok := obs.SpanMatrixFrom(merged)
+		if !ok {
+			return fmt.Errorf("case q=%g: no span series in the merged snapshot", q)
+		}
+		c := cases[i]
+		fmt.Printf("\ncase %d (%s sharing, q=%g), %d references:\n", i+1, c.Name, q, matrix.Refs())
+		fmt.Printf("  analytic §4.2 at n=%d, w=%.1f: T_RM=%.4f T_WM=%.4f T_WH=%.4f T_SUM=%.4f ((n-1)·T_SUM=%.3f)\n",
+			refN, refW, model.TRM(c, refN, refW), model.TWM(c, refN, refW),
+			model.TWH(c, refN, refW), model.TSum(c, refN, refW), model.Overhead41(c, refN, refW))
+		if err := matrix.WriteText(os.Stdout); err != nil {
 			return err
 		}
 	}

@@ -113,6 +113,7 @@ type Controller struct {
 	obsTxn        *obs.Histogram  // "ctrl<j>/txn_cycles" begin → done
 	obsBroadcasts *obs.Counter    // "ctrl<j>/broadcasts"
 	obsStateTo    [4]*obs.Counter // "ctrl<j>/dir_to_*" transition counts
+	sp            *obs.SpanRecorder
 }
 
 type txnStart struct {
@@ -156,6 +157,7 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 			c.obsStateTo[s] = cfg.Obs.Counter(prefix + "/" + stateCounterSuffix[s])
 		}
 	}
+	c.sp = cfg.Obs.Spans()
 	if cfg.TranslationBufferSize > 0 {
 		c.tb = directory.NewTranslationBuffer(cfg.TranslationBufferSize)
 	}
@@ -201,6 +203,11 @@ func (c *Controller) send(dst network.NodeID, m msg.Message) { c.net.Send(c.node
 
 // Deliver implements network.Handler.
 func (c *Controller) Deliver(src network.NodeID, m msg.Message) {
+	if m.Kind == msg.KindRequest || m.Kind == msg.KindMRequest {
+		// The requester's span: its REQUEST/MREQUEST transit ends here
+		// (the deny-on-arrival answer below is part of the same span).
+		c.sp.Mark(m.Cache, obs.PhaseReqTransit)
+	}
 	switch m.Kind {
 	case msg.KindRequest, msg.KindEject, msg.KindUncachedRead, msg.KindUncachedWrite:
 		c.submit(src, m)
@@ -267,12 +274,14 @@ func (c *Controller) service(p proto.Pending) {
 	switch p.M.Kind {
 	case msg.KindRequest:
 		c.stats.Requests.Inc()
+		c.sp.Mark(p.M.Cache, obs.PhaseQueue)
 		if p.M.RW == msg.Read {
 			c.readMiss(p)
 		} else {
 			c.writeMiss(p)
 		}
 	case msg.KindMRequest:
+		c.sp.Mark(p.M.Cache, obs.PhaseQueue)
 		c.mrequest(p)
 	case msg.KindEject:
 		c.eject(p)
@@ -358,6 +367,7 @@ func (c *Controller) readMiss(p proto.Pending) {
 	switch st {
 	case directory.Absent, directory.Present1, directory.PresentStar:
 		c.kernel.After(c.cfg.Lat.Memory, func() {
+			c.sp.Mark(k, obs.PhaseMemory)
 			data := c.mem.Read(a)
 			c.sendGet(k, a, data)
 			if st == directory.Absent {
@@ -372,7 +382,9 @@ func (c *Controller) readMiss(p proto.Pending) {
 	case directory.PresentM:
 		// Retrieve from the unknown owner, write back, then forward.
 		c.query(a, msg.Read, k, func(owner int, data uint64) {
+			c.sp.Mark(k, obs.PhaseWriteback)
 			c.kernel.After(c.cfg.Lat.Memory, func() {
+				c.sp.Mark(k, obs.PhaseMemory)
 				c.mem.Write(a, data)
 				c.sendGet(k, a, data)
 				// Owner kept a clean copy; the requester has one too.
@@ -391,6 +403,7 @@ func (c *Controller) writeMiss(p proto.Pending) {
 	switch c.State(a) {
 	case directory.Absent:
 		c.kernel.After(c.cfg.Lat.Memory, func() {
+			c.sp.Mark(k, obs.PhaseMemory)
 			data := c.mem.Read(a)
 			c.sendGet(k, a, data)
 			c.setState(a, directory.PresentM)
@@ -400,6 +413,7 @@ func (c *Controller) writeMiss(p proto.Pending) {
 	case directory.Present1, directory.PresentStar:
 		c.invalidate(a, k)
 		c.kernel.After(c.cfg.Lat.Memory, func() {
+			c.sp.Mark(k, obs.PhaseMemory)
 			data := c.mem.Read(a)
 			c.sendGet(k, a, data)
 			c.setState(a, directory.PresentM)
@@ -408,7 +422,9 @@ func (c *Controller) writeMiss(p proto.Pending) {
 		})
 	case directory.PresentM:
 		c.query(a, msg.Write, k, func(owner int, data uint64) {
+			c.sp.Mark(k, obs.PhaseWriteback)
 			c.kernel.After(c.cfg.Lat.Memory, func() {
+				c.sp.Mark(k, obs.PhaseMemory)
 				c.mem.Write(a, data)
 				c.sendGet(k, a, data)
 				c.setState(a, directory.PresentM)

@@ -21,6 +21,7 @@ import (
 	"twobit/internal/memory"
 	"twobit/internal/msg"
 	"twobit/internal/network"
+	"twobit/internal/obs"
 	"twobit/internal/proto"
 	"twobit/internal/sim"
 )
@@ -37,6 +38,10 @@ type Config struct {
 	// Commit is the oracle hook for writes that linearize at the
 	// controller (uncached I/O); may be nil.
 	Commit proto.CommitFunc
+	// Obs is the observability recorder; the full-map controller uses it
+	// only for transaction-span attribution (it registers no metric
+	// series of its own). nil costs nothing.
+	Obs *obs.Recorder
 }
 
 // Controller is a Censier–Feautrier-style memory controller.
@@ -54,6 +59,8 @@ type Controller struct {
 	stashed map[addr.Block][]stashedPut
 	// activeSince times each open transaction for occupancy accounting.
 	activeSince map[addr.Block]sim.Time
+
+	sp *obs.SpanRecorder
 }
 
 type stashedPut struct {
@@ -79,6 +86,7 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 		stashed:     make(map[addr.Block][]stashedPut),
 		activeSince: make(map[addr.Block]sim.Time),
 	}
+	c.sp = cfg.Obs.Spans()
 	c.ser = proto.NewSerializer(cfg.Mode, c.begin)
 	c.calls = proto.NewCallQueue(kernel, c.service)
 	net.Attach(c.node(), c)
@@ -111,6 +119,10 @@ func (c *Controller) send(dst network.NodeID, m msg.Message) { c.net.Send(c.node
 
 // Deliver implements network.Handler.
 func (c *Controller) Deliver(src network.NodeID, m msg.Message) {
+	if m.Kind == msg.KindRequest || m.Kind == msg.KindMRequest {
+		// The requester's span: its REQUEST/MREQUEST transit ends here.
+		c.sp.Mark(m.Cache, obs.PhaseReqTransit)
+	}
 	switch m.Kind {
 	case msg.KindRequest, msg.KindEject, msg.KindMRequest,
 		msg.KindUncachedRead, msg.KindUncachedWrite:
@@ -154,12 +166,14 @@ func (c *Controller) service(p proto.Pending) {
 	switch p.M.Kind {
 	case msg.KindRequest:
 		c.stats.Requests.Inc()
+		c.sp.Mark(p.M.Cache, obs.PhaseQueue)
 		if p.M.RW == msg.Read {
 			c.readMiss(p)
 		} else {
 			c.writeMiss(p)
 		}
 	case msg.KindMRequest:
+		c.sp.Mark(p.M.Cache, obs.PhaseQueue)
 		c.mrequest(p)
 	case msg.KindEject:
 		c.eject(p)
@@ -251,7 +265,9 @@ func (c *Controller) readMiss(p proto.Pending) {
 	if c.dir.Modified(li) {
 		owner := c.modifiedOwner(a)
 		c.purge(a, msg.Read, owner, func(_ int, data uint64) {
+			c.sp.Mark(k, obs.PhaseWriteback)
 			c.kernel.After(c.cfg.Lat.Memory, func() {
+				c.sp.Mark(k, obs.PhaseMemory)
 				c.mem.Write(a, data)
 				c.sendGet(k, a, data, false)
 				c.dir.SetModified(li, false)
@@ -267,6 +283,7 @@ func (c *Controller) readMiss(p proto.Pending) {
 	}
 	exclusive := c.cfg.LocalExclusive && c.dir.HolderCount(li) == 0
 	c.kernel.After(c.cfg.Lat.Memory, func() {
+		c.sp.Mark(k, obs.PhaseMemory)
 		data := c.mem.Read(a)
 		c.sendGet(k, a, data, exclusive)
 		c.dir.SetPresent(li, k, true)
@@ -293,7 +310,9 @@ func (c *Controller) writeMiss(p proto.Pending) {
 	if c.dir.Modified(li) {
 		owner := c.modifiedOwner(a)
 		c.purge(a, msg.Write, owner, func(_ int, data uint64) {
+			c.sp.Mark(k, obs.PhaseWriteback)
 			c.kernel.After(c.cfg.Lat.Memory, func() {
+				c.sp.Mark(k, obs.PhaseMemory)
 				c.mem.Write(a, data)
 				finish(data)
 			})
@@ -303,6 +322,7 @@ func (c *Controller) writeMiss(p proto.Pending) {
 	// Directed invalidations to the exact holders (no broadcast, ever).
 	c.invalidateHolders(a, k)
 	c.kernel.After(c.cfg.Lat.Memory, func() {
+		c.sp.Mark(k, obs.PhaseMemory)
 		finish(c.mem.Read(a))
 	})
 }

@@ -118,7 +118,8 @@ func TestDeterminismFixtures(t *testing.T) {
 func TestObsPassivityFixture(t *testing.T) {
 	// The observability package may read the clock but must never
 	// schedule: a bare kernel.After call — outside any map range — is a
-	// finding there and only there.
+	// finding there and only there, and the pooled AtCall path used by
+	// the span recorder is caught exactly like the closure forms.
 	expect(t, run(t, lint.Config{
 		Dir:     fixture(t, "determobs"),
 		SimPath: "determobs/sim",
@@ -126,6 +127,7 @@ func TestObsPassivityFixture(t *testing.T) {
 		Scope:   "determobs",
 	}), []string{
 		"obs/obs.go:21:2: [determinism] observability package determobs/obs must stay passive but schedules a kernel event via After",
+		"obs/span.go:22:2: [determinism] observability package determobs/obs must stay passive but schedules a kernel event via AtCall",
 	})
 }
 

@@ -12,3 +12,11 @@ func (k *Kernel) After(d int64, fn func()) {}
 
 // Now reads the clock; observers may call this freely.
 func (k *Kernel) Now() int64 { return 0 }
+
+// Caller is the pooled-scheduling callback interface.
+type Caller interface {
+	Call(a0, a1 uint64)
+}
+
+// AtCall schedules c.Call(a0, a1) at absolute time t without allocating.
+func (k *Kernel) AtCall(t int64, c Caller, a0, a1 uint64) {}

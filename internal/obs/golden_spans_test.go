@@ -1,0 +1,203 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twobit/internal/obs"
+	"twobit/internal/system"
+	"twobit/internal/workload"
+)
+
+// goldenSpansRun executes the same pinned scenario as goldenRun but
+// with transaction spans retained, so the spans-format export can be
+// pinned byte for byte alongside the event trace.
+func goldenSpansRun(t *testing.T) *obs.Recorder {
+	t.Helper()
+	rec := obs.New(0) // spans bypass the event ring; none needed
+	rec.EnableSpans(1 << 16)
+	cfg := system.DefaultConfig(system.TwoBit, 4)
+	cfg.Obs = rec
+	gen := workload.NewSharedPrivate(workload.SharedPrivateConfig{
+		Procs: 4, SharedBlocks: 16, Q: 0.1, W: 0.3,
+		PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 24, ColdBlocks: 128, Seed: 7,
+	})
+	m, err := system.New(cfg, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func spanTraceBytes(t *testing.T, rec *obs.Recorder, f obs.SpanFilter) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WriteSpanTrace(&buf, rec.Spans(), f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenSpansTrace pins the spans-format exporter byte for byte on
+// the seeded scenario. Any change to mark placement, class inference,
+// or the JSON shape shows up as a readable diff of this file.
+func TestGoldenSpansTrace(t *testing.T) {
+	got := spanTraceBytes(t, goldenSpansRun(t), obs.NewSpanFilter())
+
+	path := filepath.Join("testdata", "golden_spans_trace.json")
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden spans trace (set UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("spans trace drifted from golden file (%d vs %d bytes); diff %s against a regenerated copy",
+			len(got), len(want), path)
+	}
+}
+
+// TestGoldenSpansTraceDeterministic runs the scenario twice from
+// scratch and demands byte-identical exports.
+func TestGoldenSpansTraceDeterministic(t *testing.T) {
+	a := spanTraceBytes(t, goldenSpansRun(t), obs.NewSpanFilter())
+	b := spanTraceBytes(t, goldenSpansRun(t), obs.NewSpanFilter())
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs exported different spans-trace bytes")
+	}
+}
+
+// TestGoldenSpansTraceWellFormed checks the structural invariants the
+// spans format promises: valid JSON, every phase segment lies inside
+// its parent span, segments on a track tile the parent exactly, and
+// flow steps stay balanced (each "s" start has an "f" finish).
+func TestGoldenSpansTraceWellFormed(t *testing.T) {
+	raw := spanTraceBytes(t, goldenSpansRun(t), obs.NewSpanFilter())
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string  `json:"ph"`
+			Cat  string  `json:"cat"`
+			Tid  int     `json:"tid"`
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			ID   int64   `json:"id"`
+			Args struct {
+				Txn *int64 `json:"txn"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+
+	classes := map[string]bool{
+		"read_hit": true, "read_miss": true, "write_hit": true,
+		"write_miss": true, "write_upgrade": true,
+	}
+	type span struct{ start, end, covered float64 }
+	parents := map[int64]*span{} // by txn
+	flows := map[int64]int{}     // open flow chains by id
+	var xEvents, flowStarts int
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			xEvents++
+			if e.Args.Txn == nil {
+				t.Fatalf("event %d: X event without txn arg", i)
+			}
+			txn := *e.Args.Txn
+			if classes[e.Name] {
+				if parents[txn] != nil {
+					t.Fatalf("event %d: duplicate parent span for txn %d", i, txn)
+				}
+				parents[txn] = &span{start: e.Ts, end: e.Ts + e.Dur}
+			} else {
+				p := parents[txn]
+				if p == nil {
+					t.Fatalf("event %d: phase segment %q before its parent (txn %d)", i, e.Name, txn)
+				}
+				if e.Ts < p.start || e.Ts+e.Dur > p.end {
+					t.Fatalf("event %d: segment %q [%v,%v) outside parent [%v,%v)",
+						i, e.Name, e.Ts, e.Ts+e.Dur, p.start, p.end)
+				}
+				p.covered += e.Dur
+			}
+		case "s":
+			flows[e.ID]++
+			flowStarts++
+			if e.Cat != "txnflow" {
+				t.Fatalf("event %d: flow start with cat %q", i, e.Cat)
+			}
+		case "f":
+			flows[e.ID]--
+			if flows[e.ID] < 0 {
+				t.Fatalf("event %d: flow finish without start for id %d", i, e.ID)
+			}
+		}
+	}
+	if xEvents == 0 {
+		t.Fatal("trace contains no spans")
+	}
+	if flowStarts == 0 {
+		t.Error("trace contains no flow events; causal links regressed")
+	}
+	for id, n := range flows {
+		if n != 0 {
+			t.Errorf("flow %d left open (%d unmatched starts)", id, n)
+		}
+	}
+	for txn, p := range parents {
+		if p.covered != p.end-p.start {
+			t.Errorf("txn %d: segments cover %v of %v — phases do not tile the span",
+				txn, p.covered, p.end-p.start)
+		}
+	}
+}
+
+// TestGoldenSpansTraceFilters pins that filtering produces a subset:
+// one transaction, one class, one block — each must be non-empty and
+// strictly smaller than the full export.
+func TestGoldenSpansTraceFilters(t *testing.T) {
+	rec := goldenSpansRun(t)
+	full := spanTraceBytes(t, rec, obs.NewSpanFilter())
+
+	spans := rec.Spans().Finished()
+	if len(spans) == 0 {
+		t.Fatal("no spans retained")
+	}
+	pick := spans[len(spans)/2]
+
+	for name, f := range map[string]obs.SpanFilter{
+		"txn":   {Txn: int64(pick.Txn)},
+		"class": {Txn: -1, Class: pick.Class.String()},
+		"block": {Txn: -1, HasBlock: true, Block: pick.Block},
+	} {
+		sub := spanTraceBytes(t, rec, f)
+		if len(sub) >= len(full) {
+			t.Errorf("%s filter did not shrink the trace (%d vs %d bytes)", name, len(sub), len(full))
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(sub, &doc); err != nil {
+			t.Errorf("%s-filtered trace not valid JSON: %v", name, err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Errorf("%s filter produced an empty trace", name)
+		}
+	}
+}

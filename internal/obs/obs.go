@@ -101,6 +101,10 @@ type Recorder struct {
 	head    int // next write slot
 	count   int // live events (≤ len(ring))
 	dropped uint64
+
+	// spans is the transaction-span aggregator, nil until EnableSpans
+	// (see span.go).
+	spans *SpanRecorder
 }
 
 // New returns a recorder with capacity for ringCapacity trace events;

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// SpanFilter selects which finished spans WriteSpanTrace exports. The
+// zero SpanFilter keeps everything; Txn's no-filter value is -1 (the
+// zero value would otherwise hide transaction 0), so construct filters
+// with NewSpanFilter or set Txn explicitly.
+type SpanFilter struct {
+	// Txn keeps only the span with this transaction id; -1 keeps all.
+	Txn int64
+	// Class keeps only spans of this reference class name ("read_miss",
+	// ...); empty keeps all.
+	Class string
+	// HasBlock/Block keep only spans touching this block address.
+	HasBlock bool
+	Block    int64
+}
+
+// NewSpanFilter returns the keep-everything filter.
+func NewSpanFilter() SpanFilter {
+	return SpanFilter{Txn: -1}
+}
+
+func (f SpanFilter) keep(s SpanData) bool {
+	if f.Txn >= 0 && uint64(f.Txn) != s.Txn {
+		return false
+	}
+	if f.Class != "" && s.Class.String() != f.Class {
+		return false
+	}
+	if f.HasBlock && s.Block != f.Block {
+		return false
+	}
+	return true
+}
+
+// WriteSpanTrace exports the retained transaction spans matching f as
+// flame-style Chrome trace_event JSON. Each cache gets a track ("txn
+// cache<k>", pid 1, tids above the event-trace range so the two exports
+// can be merged by hand); each span becomes a parent "X" complete event
+// named by its class, its phase segments child "X" events that tile the
+// parent exactly, and consecutive segments are linked by "s"/"t"/"f"
+// flow events with the transaction id, so the viewer draws the causal
+// chain issue → ... → retire. Fixed formatting, span order and segment
+// order are all deterministic, so identical recordings export to
+// identical bytes — the property the golden spans trace pins.
+func WriteSpanTrace(w io.Writer, sp *SpanRecorder, f SpanFilter) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+
+	first := true
+	sep := func() string {
+		if first {
+			first = false
+			return ""
+		}
+		return ",\n"
+	}
+
+	// Track metadata: one track per cache that owns a kept span. Tids
+	// start at spanTidBase to stay clear of the event-trace tids
+	// (component index + 1).
+	const spanTidBase = 1000
+	maxCache := -1
+	for _, s := range sp.Finished() {
+		if f.keep(s) && s.Cache > maxCache {
+			maxCache = s.Cache
+		}
+	}
+	seen := make([]bool, maxCache+1)
+	for _, s := range sp.Finished() {
+		if f.keep(s) {
+			seen[s.Cache] = true
+		}
+	}
+	for k, ok := range seen {
+		if !ok {
+			continue
+		}
+		tid := spanTidBase + k
+		fmt.Fprintf(bw, "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"txn cache%d\"}}", sep(), tid, k)
+		fmt.Fprintf(bw, "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}", sep(), tid, tid)
+	}
+
+	for _, s := range sp.Finished() {
+		if !f.keep(s) {
+			continue
+		}
+		tid := spanTidBase + s.Cache
+		// Parent: the whole reference, named by class. A zero-duration
+		// reference (impossible today: retirement costs ≥ 1 cycle) would
+		// still render as a dur-0 slice.
+		fmt.Fprintf(bw, "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%q,\"args\":{\"txn\":%d,\"block\":%d}}",
+			sep(), tid, s.Start, s.End-s.Start, s.Class.String(), s.Txn, s.Block)
+		for i, seg := range s.Segs {
+			// Child: one phase segment. Chrome nests same-track "X"
+			// events by [ts, ts+dur) containment.
+			fmt.Fprintf(bw, "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%d,\"dur\":%d,\"name\":%q,\"args\":{\"txn\":%d}}",
+				sep(), tid, seg.From, seg.To-seg.From, seg.Phase.String(), s.Txn)
+			// Flow: chain the segments so the viewer draws the causal
+			// arrows issue → ... → retire under id = txn. A single-
+			// segment span (a plain hit) has no chain to draw.
+			if len(s.Segs) < 2 {
+				continue
+			}
+			ph := "t"
+			if i == 0 {
+				ph = "s"
+			} else if i == len(s.Segs)-1 {
+				ph = "f"
+			}
+			bp := ""
+			if ph == "f" {
+				bp = ",\"bp\":\"e\""
+			}
+			fmt.Fprintf(bw, "%s{\"ph\":%q,\"pid\":1,\"tid\":%d,\"ts\":%d,\"cat\":\"txnflow\",\"id\":%d,\"name\":\"txn\"%s}",
+				sep(), ph, tid, seg.From, s.Txn, bp)
+		}
+	}
+
+	if sp.Truncated() > 0 {
+		fmt.Fprintf(bw, "%s{\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":\"span retention full: %d newest spans dropped\"}",
+			sep(), sp.Truncated())
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

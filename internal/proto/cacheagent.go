@@ -75,6 +75,7 @@ type CacheAgent struct {
 	comp      obs.Component  // "cache<k>" trace track
 	obsRefs   *obs.Counter   // "cache<k>/refs"
 	obsRemote *obs.Histogram // "cache<k>/remote_ref_cycles": issue → finish
+	sp        *obs.SpanRecorder
 }
 
 type pendPhase uint8
@@ -108,6 +109,7 @@ func NewCacheAgent(cfg AgentConfig, kernel *sim.Kernel, net network.Network, sto
 		a.obsRefs = cfg.Obs.Counter(fmt.Sprintf("cache%d/refs", cfg.Index))
 		a.obsRemote = cfg.Obs.Histogram(fmt.Sprintf("cache%d/remote_ref_cycles", cfg.Index), 4)
 	}
+	a.sp = cfg.Obs.Spans()
 	net.Attach(cfg.Topo.CacheNode(cfg.Index), a)
 	return a
 }
@@ -152,11 +154,35 @@ func (a *CacheAgent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)
 	a.obsRefs.Inc()
 	a.rec.Begin(a.comp, refName(ref.Write), int64(ref.Block))
 
-	if f := a.store.Access(ref.Block); f != nil {
+	f := a.store.Access(ref.Block)
+	if a.sp != nil {
+		a.sp.Start(a.cfg.Index, spanClass(ref, f, a.cfg.ExclusiveGrants), int64(ref.Block))
+	}
+	if f != nil {
 		a.hit(ref, f, writeVersion, done)
 		return
 	}
 	a.miss(ref, writeVersion, done)
+}
+
+// spanClass classifies a reference for latency attribution exactly the
+// way hit and miss will dispatch it: the class is decided at issue time
+// and survives §3.2.5 conversions (a converted MREQUEST stays a
+// write_upgrade — its retry latency belongs to that class, matching the
+// paper's T_WH accounting).
+func spanClass(ref addr.Ref, f *cache.Frame, exclusiveGrants bool) obs.RefClass {
+	switch {
+	case !ref.Write && f != nil:
+		return obs.ClassReadHit
+	case !ref.Write:
+		return obs.ClassReadMiss
+	case f == nil:
+		return obs.ClassWriteMiss
+	case f.Modified || (exclusiveGrants && f.Exclusive):
+		return obs.ClassWriteHit
+	default:
+		return obs.ClassWriteUpgrade
+	}
 }
 
 // complete closes the reference span and runs done after the fill/hit
@@ -185,6 +211,7 @@ func (a *CacheAgent) Call(a0, a1 uint64) {
 	done := a.compDone
 	a.compDone = nil
 	a.rec.End(a.comp, refName(a1 == 1), a.compBlock)
+	a.sp.Finish(a.cfg.Index)
 	done(a0)
 }
 
@@ -239,6 +266,7 @@ func (a *CacheAgent) evictFor(b addr.Block) {
 	if !victim.Valid {
 		return
 	}
+	a.sp.Mark(a.cfg.Index, obs.PhaseReplacement)
 	olda := victim.Block
 	ctrl := a.cfg.Topo.CtrlFor(olda)
 	if victim.Modified || victim.Exclusive {
@@ -295,6 +323,9 @@ func (a *CacheAgent) handleInvalidate(m msg.Message) {
 	if a.pendActive && a.pend.phase == pendAwaitMGrant && a.pend.ref.Block == m.Block {
 		a.stats.MRequestsConverted.Inc()
 		a.rec.Emit(a.comp, "mreq converted", int64(m.Block), 0)
+		// The BROADINV stands in for MGRANTED(·,false): the grant wait
+		// ends here, like on the explicit denial path.
+		a.sp.Mark(a.cfg.Index, obs.PhaseDataReturn)
 		a.reissueAsWriteMiss()
 	}
 }
@@ -335,6 +366,7 @@ func (a *CacheAgent) handleMGranted(m msg.Message) {
 		}
 		return
 	}
+	a.sp.Mark(a.cfg.Index, obs.PhaseDataReturn)
 	if !m.Ok {
 		a.stats.Retries.Inc()
 		a.rec.Emit(a.comp, "retry", int64(m.Block), 0)
@@ -385,6 +417,7 @@ func (a *CacheAgent) handleGet(m msg.Message) {
 	if !a.pendActive || a.pend.phase != pendAwaitGet || a.pend.ref.Block != m.Block {
 		panic(fmt.Sprintf("proto: cache %d: unsolicited %v", a.cfg.Index, m))
 	}
+	a.sp.Mark(a.cfg.Index, obs.PhaseDataReturn)
 	// The frame freed at miss time is still free (only gets fill frames,
 	// and we have at most one outstanding reference), but run the
 	// replacement defensively in case a conflicting block was filled.

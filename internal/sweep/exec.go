@@ -52,8 +52,11 @@ func runPoint(p *Plan, pt Point) Record {
 	}
 	gen := workload.NewSharedPrivate(p.workloadConfig(pt))
 	cfg := p.Config(pt)
-	if p.Obs {
+	if p.Obs || p.Spans {
 		cfg.Obs = obs.New(0) // metrics only: no event ring in stored campaigns
+		if p.Spans {
+			cfg.Obs.EnableSpans(0) // matrix only: no per-span retention
+		}
 	}
 	m, err := system.New(cfg, gen)
 	if err != nil {
@@ -105,6 +108,15 @@ func CheckPrefix(p *Plan, recs []Record) error {
 // non-nil error from emit aborts the campaign after the in-flight runs
 // drain.
 func Execute(p *Plan, workers, startAt int, emit func(Record) error) error {
+	return ExecuteObserved(p, workers, startAt, emit, nil)
+}
+
+// ExecuteObserved is Execute with a telemetry publisher: prog (which may
+// be nil for none) sees every run start, completion and ordered
+// emission. Telemetry is strictly wall-clock bookkeeping about the
+// worker pool — it never feeds back into a run, so an observed campaign
+// produces byte-identical records.
+func ExecuteObserved(p *Plan, workers, startAt int, emit func(Record) error, prog *Progress) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
@@ -129,15 +141,19 @@ func Execute(p *Plan, workers, startAt int, emit func(Record) error) error {
 	jobs := make(chan Point)
 	results := make(chan Record, workers)
 	stop := make(chan struct{}) // closed on emit error: stop feeding new runs
+	prog.begin(workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for pt := range jobs {
-				results <- runPoint(p, pt)
+				prog.noteRunStart(w)
+				rec := runPoint(p, pt)
+				prog.noteRunDone(w, rec.Err != "")
+				results <- rec
 			}
-		}()
+		}(i)
 	}
 	go func() {
 		defer close(jobs)
@@ -170,6 +186,8 @@ func Execute(p *Plan, workers, startAt int, emit func(Record) error) error {
 			if emitErr == nil {
 				if emitErr = emit(r); emitErr != nil {
 					close(stop)
+				} else {
+					prog.noteEmitted()
 				}
 			}
 			next++

@@ -85,6 +85,13 @@ type Plan struct {
 	// per run. The recorder is passive: results are byte-identical to an
 	// uninstrumented run modulo the added "obs" section.
 	Obs bool `json:"obs,omitempty"`
+
+	// Spans additionally enables transaction-span latency attribution:
+	// each record's snapshot gains the span/<class>/<phase> histogram
+	// matrix (the measured Table 4-1). Implies a recorder even when Obs
+	// is false. Aggregation only — per-span trace detail is never stored
+	// in campaigns (use cmd/coherencetrace -format spans to see it).
+	Spans bool `json:"spans,omitempty"`
 }
 
 // Point is one expanded run of a plan.

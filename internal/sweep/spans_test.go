@@ -1,0 +1,177 @@
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twobit/internal/obs"
+)
+
+// spanPlan is testPlan with transaction spans on: every stored record
+// carries the phase × class latency matrix.
+func spanPlan() *Plan {
+	p := testPlan()
+	p.Spans = true
+	return p
+}
+
+// spanSnapshots collects the plan's per-run snapshots.
+func spanSnapshots(t *testing.T, p *Plan) []obs.Snapshot {
+	t.Helper()
+	recs, err := Collect(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := make([]obs.Snapshot, 0, len(recs))
+	for _, rec := range recs {
+		res, err := rec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Obs == nil {
+			t.Fatalf("run %d: no snapshot despite plan.Spans", rec.RunID)
+		}
+		snaps = append(snaps, *res.Obs)
+	}
+	return snaps
+}
+
+func snapKey(t *testing.T, s obs.Snapshot) string {
+	t.Helper()
+	return fmt.Sprintf("%+v", s)
+}
+
+// TestSpanMergeProperties proves the aggregation algebra the sweep
+// engine relies on, over real campaign snapshots rather than synthetic
+// histograms: merging per-run span matrices is commutative,
+// associative, and invariant under arbitrary permutation — so an
+// aggregate is well-defined no matter how many workers produced the
+// runs or how a resume interleaved them.
+func TestSpanMergeProperties(t *testing.T) {
+	snaps := spanSnapshots(t, spanPlan())
+	if len(snaps) < 3 {
+		t.Fatalf("need ≥3 snapshots, got %d", len(snaps))
+	}
+	a, b, c := snaps[0], snaps[1], snaps[2]
+
+	ab, err := obs.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := obs.Merge(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapKey(t, ab) != snapKey(t, ba) {
+		t.Error("merge not commutative: a⊕b ≠ b⊕a")
+	}
+
+	abc1, err := obs.Merge(ab, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := obs.Merge(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc2, err := obs.Merge(a, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapKey(t, abc1) != snapKey(t, abc2) {
+		t.Error("merge not associative: (a⊕b)⊕c ≠ a⊕(b⊕c)")
+	}
+
+	base, err := obs.MergeAll(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapKey(t, base)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		perm := make([]obs.Snapshot, len(snaps))
+		for i, j := range rng.Perm(len(snaps)) {
+			perm[i] = snaps[j]
+		}
+		got, err := obs.MergeAll(perm...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snapKey(t, got) != want {
+			t.Fatalf("trial %d: permuted merge produced a different aggregate", trial)
+		}
+	}
+}
+
+// TestSpanMergeExactness proves attribution survives aggregation: in
+// the campaign-wide merged matrix, every class's summed phase durations
+// still equal its summed end-to-end latency, and total references equal
+// the sum over stored records.
+func TestSpanMergeExactness(t *testing.T) {
+	p := spanPlan()
+	recs, err := Collect(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []obs.Snapshot
+	var wantRefs uint64
+	for _, rec := range recs {
+		res, err := rec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, *res.Obs)
+		wantRefs += res.Refs
+	}
+	merged, err := obs.MergeAll(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrix, ok := obs.SpanMatrixFrom(merged)
+	if !ok {
+		t.Fatal("merged snapshot carries no span series")
+	}
+	var refs uint64
+	for _, cl := range matrix.Classes {
+		var phaseSum uint64
+		for _, ph := range cl.Phases {
+			phaseSum += ph.Hist.Sum
+		}
+		if phaseSum != cl.E2E.Sum {
+			t.Errorf("%s: merged Σ phases = %d, merged e2e = %d", cl.Class, phaseSum, cl.E2E.Sum)
+		}
+		refs += cl.E2E.Count
+	}
+	if refs != wantRefs {
+		t.Errorf("merged matrix refs = %d, Σ record refs = %d", refs, wantRefs)
+	}
+}
+
+// TestSpanPlanIsDeterministicAcrossWorkers extends the byte-identity
+// guarantee to span-instrumented campaigns.
+func TestSpanPlanIsDeterministicAcrossWorkers(t *testing.T) {
+	p := spanPlan()
+	dir := t.TempDir()
+	serial := filepath.Join(dir, "serial.jsonl")
+	parallel := filepath.Join(dir, "parallel.jsonl")
+	runToFile(t, p, serial, 1)
+	runToFile(t, p, parallel, 8)
+	if fileHash(t, serial) != fileHash(t, parallel) {
+		t.Fatal("span-instrumented stores differ between workers=1 and workers=8")
+	}
+	recs, err := LoadStore(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		res, err := rec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, ok := res.SpanMatrix(); !ok || m.Refs() != res.Refs {
+			t.Fatalf("run %d: span matrix missing or inconsistent (ok=%v)", rec.RunID, ok)
+		}
+	}
+}

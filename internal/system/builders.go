@@ -112,6 +112,7 @@ func (b *fullMapBuilder) buildCtrls(m *Machine) []proto.MemSide {
 			Mode:           m.cfg.Mode,
 			LocalExclusive: b.exclusive,
 			Commit:         m.commitHook(),
+			Obs:            m.cfg.Obs,
 		}, m.kernel, m.net, mem)
 		b.ctrls[j] = c
 		out[j] = c

@@ -57,6 +57,17 @@ type Results struct {
 	Obs *obs.Snapshot
 }
 
+// SpanMatrix extracts the phase × reference-class latency attribution
+// matrix (the measured Table 4-1) from the run's snapshot. ok is false
+// when the run recorded no transaction spans — no recorder, or spans
+// not enabled on it.
+func (r Results) SpanMatrix() (obs.SpanMatrix, bool) {
+	if r.Obs == nil {
+		return obs.SpanMatrix{}, false
+	}
+	return obs.SpanMatrixFrom(*r.Obs)
+}
+
 // collect builds Results after a successful run.
 func (m *Machine) collect(refsPerProc int) Results {
 	r := Results{

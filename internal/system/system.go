@@ -411,6 +411,11 @@ func newProcDriver(m *Machine, p, remaining int) *procDriver {
 	return d
 }
 
+// issue hands the processor's next reference to its cache agent. When
+// transaction spans are enabled the agent opens the reference's span in
+// Access, at this same tick, and closes it when done runs — so span
+// end-to-end latencies cover exactly the issuedAt → complete interval
+// measured below.
 func (d *procDriver) issue() {
 	m := d.m
 	ref := m.gen.Next(d.p)

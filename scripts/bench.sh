@@ -5,6 +5,11 @@
 # byte-identical at every width, so the curve is the parallel speedup of
 # the experiment-orchestration subsystem.
 #
+# Each committed BENCH_*.json is snapshotted before the run and diffed
+# against the fresh numbers afterwards via cmd/benchdiff: a >10%
+# throughput drop or any allocs/op increase fails the script, so a perf
+# regression cannot ride a baseline refresh in unnoticed.
+#
 #   scripts/bench.sh [benchtime]     # default 2x
 set -eu
 
@@ -14,6 +19,13 @@ BENCHTIME="${1:-2x}"
 OUT=BENCH_sweep.json
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
+
+# Snapshot the committed baselines before anything overwrites them.
+PREV="$(mktemp -d)"
+trap 'rm -f "$RAW"; rm -rf "$PREV"' EXIT
+for f in BENCH_*.json; do
+    [ -f "$f" ] && cp "$f" "$PREV/$f"
+done
 
 echo "==> go test -bench BenchmarkSweep -benchtime $BENCHTIME"
 go test -run '^$' -bench '^BenchmarkSweep$' -benchtime "$BENCHTIME" . | tee "$RAW"
@@ -51,7 +63,7 @@ cat "$OUT"
 # produced it.
 KERNEL_OUT=BENCH_kernel.json
 KERNEL_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$KERNEL_RAW"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW"; rm -rf "$PREV"' EXIT
 
 echo "==> go test -bench BenchmarkKernel|BenchmarkBroadcastFanout -benchmem"
 go test -run '^$' -bench '^(BenchmarkKernel|BenchmarkBroadcastFanout)$' -benchmem -benchtime 20000x . | tee "$KERNEL_RAW"
@@ -93,7 +105,7 @@ cat "$KERNEL_OUT"
 # every simulation pays) and on (the marginal cost of measuring).
 OBS_OUT=BENCH_obs.json
 OBS_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW"; rm -rf "$PREV"' EXIT
 
 echo "==> go test -bench BenchmarkObs(Disabled|Enabled) -benchmem"
 go test -run '^$' -bench '^BenchmarkObs(Disabled|Enabled)$' -benchmem -benchtime 2000000x . | tee "$OBS_RAW"
@@ -120,3 +132,54 @@ END {
 
 echo "==> wrote $OBS_OUT"
 cat "$OBS_OUT"
+
+# Transaction-span overhead baseline: ns/op and allocs/op for the span
+# hooks with spans off (the nil-check path) and on in matrix-only mode
+# (the sweep campaign configuration).
+SPANS_OUT=BENCH_spans.json
+SPANS_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW"; rm -rf "$PREV"' EXIT
+
+echo "==> go test -bench BenchmarkSpans(Disabled|Enabled) -benchmem"
+go test -run '^$' -bench '^BenchmarkSpans(Disabled|Enabled)$' -benchmem -benchtime 2000000x . | tee "$SPANS_RAW"
+
+awk -v commit="$COMMIT" -v date="$DATE" '
+/^BenchmarkSpans(Disabled|Enabled)/ {
+    name = ($1 ~ /Disabled/) ? "disabled" : "enabled"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns[name] = $(i - 1)
+        if ($i == "allocs/op") allocs[name] = $(i - 1)
+    }
+    seen[name] = 1
+}
+END {
+    if (!seen["disabled"] || !seen["enabled"]) {
+        print "bench.sh: spans benchmarks did not both report" > "/dev/stderr"; exit 1
+    }
+    printf "{\n  \"benchmark\": \"BenchmarkSpans\",\n"
+    printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+    printf "  \"disabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", ns["disabled"], allocs["disabled"]
+    printf "  \"enabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}\n", ns["enabled"], allocs["enabled"]
+    printf "}\n"
+}' "$SPANS_RAW" > "$SPANS_OUT"
+
+echo "==> wrote $SPANS_OUT"
+cat "$SPANS_OUT"
+
+# Regression gate: judge every fresh baseline against its committed
+# predecessor. A >10% throughput loss or any allocs/op increase fails
+# here, before the new numbers can be committed as the baseline.
+echo "==> benchdiff against committed baselines"
+FAILED=0
+for f in BENCH_*.json; do
+    if [ -f "$PREV/$f" ]; then
+        echo "--- $f"
+        go run ./cmd/benchdiff -skip-missing -baseline "$PREV/$f" -fresh "$f" || FAILED=1
+    else
+        echo "--- $f: no committed baseline, first measurement"
+    fi
+done
+if [ "$FAILED" -ne 0 ]; then
+    echo "bench.sh: performance regression against committed baselines" >&2
+    exit 1
+fi

@@ -67,6 +67,20 @@ END {
     if (allocs + 0 != 0) { printf "check.sh: disabled obs path allocates (%s allocs/op)\n", allocs > "/dev/stderr"; exit 1 }
 }'
 
+echo "==> spans zero-alloc guard"
+# Same contract for the transaction-span hooks: a simulation that does
+# not enable spans must pay nothing but a nil check per call.
+SPANS_BENCH="$(go test -run '^$' -bench '^BenchmarkSpans(Disabled|Enabled)$' -benchmem -benchtime 1000x .)"
+echo "$SPANS_BENCH"
+echo "$SPANS_BENCH" | awk '
+/^BenchmarkSpansDisabled/ {
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") { allocs = $(i - 1); found = 1 }
+}
+END {
+    if (!found) { print "check.sh: BenchmarkSpansDisabled did not report allocs/op" > "/dev/stderr"; exit 1 }
+    if (allocs + 0 != 0) { printf "check.sh: disabled spans path allocates (%s allocs/op)\n", allocs > "/dev/stderr"; exit 1 }
+}'
+
 echo "==> kernel zero-alloc guard + order oracle"
 # The event kernel's schedule+drain path must not allocate: an allocation
 # per event would tax every simulated cycle. The order oracle replays the
@@ -102,6 +116,34 @@ cmp "$SMOKE/trace1.json" "$SMOKE/trace2.json" || {
     echo "check.sh: trace export is not deterministic" >&2
     exit 1
 }
+
+echo "==> benchdiff gate self-check"
+# The regression gate must pass a baseline against itself and must fail
+# on a constructed regression — otherwise bench.sh's gate is decorative.
+for f in BENCH_sweep.json BENCH_kernel.json BENCH_obs.json BENCH_spans.json; do
+    [ -f "$f" ] || { echo "check.sh: committed baseline $f missing" >&2; exit 1; }
+    go run ./cmd/benchdiff -baseline "$f" -fresh "$f" > /dev/null || {
+        echo "check.sh: benchdiff failed $f against itself" >&2
+        exit 1
+    }
+done
+cat > "$SMOKE/bd_base.json" <<'EOF3'
+{"kernel": {"events_per_second": 1000000, "allocs_per_op": 0}}
+EOF3
+cat > "$SMOKE/bd_slow.json" <<'EOF3'
+{"kernel": {"events_per_second": 800000, "allocs_per_op": 0}}
+EOF3
+cat > "$SMOKE/bd_alloc.json" <<'EOF3'
+{"kernel": {"events_per_second": 1000000, "allocs_per_op": 1}}
+EOF3
+if go run ./cmd/benchdiff -baseline "$SMOKE/bd_base.json" -fresh "$SMOKE/bd_slow.json" > /dev/null 2>&1; then
+    echo "check.sh: benchdiff passed a 20% throughput regression" >&2
+    exit 1
+fi
+if go run ./cmd/benchdiff -baseline "$SMOKE/bd_base.json" -fresh "$SMOKE/bd_alloc.json" > /dev/null 2>&1; then
+    echo "check.sh: benchdiff passed an allocation regression" >&2
+    exit 1
+fi
 
 echo "==> fuzz: results codec (30s)"
 go test -run '^$' -fuzz '^FuzzDecodeResults$' -fuzztime 30s ./internal/system
