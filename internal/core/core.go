@@ -77,6 +77,32 @@ type Config struct {
 	// Obs is the observability recorder; nil leaves the controller
 	// uninstrumented at zero cost.
 	Obs *obs.Recorder
+	// Hooks injects deliberate protocol defects. Production configurations
+	// leave it nil; the model checker's tests use it to prove the checker
+	// finds the bugs each defense exists to prevent. See BugHooks.
+	Hooks *BugHooks
+}
+
+// BugHooks disables individual protocol defenses, one per field — a
+// test-only surface for internal/mcheck, which must demonstrate that
+// removing a defense yields a counterexample (or, for the defenses that
+// are performance optimizations backed by a deeper defense, that it does
+// not). A nil *BugHooks is the production configuration.
+type BugHooks struct {
+	// SkipWriteMissInvalidate drops the §3.2.3 invalidation on a write
+	// miss to a Present1/Present* block: the writer is granted the block
+	// while stale clean copies survive — a single-writer violation.
+	SkipWriteMissInvalidate bool
+	// SkipStashedPutConsume makes the controller ignore stashed puts when
+	// a transaction needs data (§3.2.5 EJECT × BROADQUERY): the query
+	// broadcast finds no owner (it already evicted) and the transaction
+	// waits forever — a deadlock.
+	SkipStashedPutConsume bool
+	// SkipMRequestQueueDelete drops the §3.2.5 "deletes MREQUEST(j,a)
+	// from the queue" rule. The deny-on-service path and the MACK
+	// confirmation still defend the directory, so this one should yield
+	// no counterexample — the deletion is an optimization.
+	SkipMRequestQueueDelete bool
 }
 
 // Controller is the two-bit memory controller K_j of Figure 3-1.
@@ -119,6 +145,7 @@ type Controller struct {
 type txnStart struct {
 	at   sim.Time
 	name string
+	cmd  msg.Message // the command being serviced, for state snapshots
 }
 
 type stashedPut struct {
@@ -262,7 +289,7 @@ func (c *Controller) handlePut(m msg.Message) {
 
 // begin starts servicing one command after the controller service time.
 func (c *Controller) begin(p proto.Pending) {
-	start := txnStart{at: c.kernel.Now(), name: txnName(p.M.Kind)}
+	start := txnStart{at: c.kernel.Now(), name: txnName(p.M.Kind), cmd: p.M}
 	c.activeSince[p.M.Block] = start
 	if c.rec != nil {
 		c.rec.AsyncBegin(c.comp, start.name, int64(p.M.Block))
@@ -411,7 +438,9 @@ func (c *Controller) writeMiss(p proto.Pending) {
 			c.done(a)
 		})
 	case directory.Present1, directory.PresentStar:
-		c.invalidate(a, k)
+		if c.cfg.Hooks == nil || !c.cfg.Hooks.SkipWriteMissInvalidate {
+			c.invalidate(a, k)
+		}
 		c.kernel.After(c.cfg.Lat.Memory, func() {
 			c.sp.Mark(k, obs.PhaseMemory)
 			data := c.mem.Read(a)
@@ -444,7 +473,7 @@ func (c *Controller) mrequest(p proto.Pending) {
 	// queue deletion ran would otherwise install a phantom owner: the
 	// state would read PresentM while no modified copy exists, and the
 	// next BROADQUERY would wait forever.
-	grant := func() {
+	grant := func(from directory.State) {
 		c.send(c.cfg.Topo.CacheNode(k), msg.Message{
 			Kind: msg.KindMGranted, Block: a, Cache: k, Ok: true,
 		})
@@ -452,14 +481,26 @@ func (c *Controller) mrequest(p proto.Pending) {
 			if ok {
 				c.setState(a, directory.PresentM)
 				c.tbRecord(a, []int{k})
-			} else {
-				// The sender had converted: every other copy is gone (the
-				// Present* path just broadcast BROADINV) and so is the
-				// sender's. The block is Absent; the sender's write
-				// REQUEST, already queued behind us, will reload it.
-				c.stats.MGrantDenied.Inc()
+				c.done(a)
+				return
+			}
+			// The sender had converted: its own copy is gone and its write
+			// REQUEST, already queued behind us, will reload it. What the
+			// denial says about *other* copies depends on how we granted.
+			c.stats.MGrantDenied.Inc()
+			if from == directory.PresentStar {
+				// The Present* path broadcast BROADINV before granting, so
+				// every other copy is doomed too: the block is Absent.
 				c.setState(a, directory.Absent)
 				c.tbRecord(a, nil)
+			} else {
+				// The Present1 grant sent no invalidation. The denial proves
+				// the tracked copy was never the sender's — it belongs to
+				// another cache and is still live, so Present1 stands.
+				// Resetting to Absent here would let the sender's queued
+				// write REQUEST be serviced without BROADINV, stranding that
+				// live copy stale forever (found by internal/mcheck).
+				c.tbDrop(a)
 			}
 			c.done(a)
 		}
@@ -467,11 +508,11 @@ func (c *Controller) mrequest(p proto.Pending) {
 	switch c.State(a) {
 	case directory.Present1:
 		// Case 1: the sole copy is k's — this justifies keeping Present1.
-		grant()
+		grant(directory.Present1)
 	case directory.PresentStar:
 		// Case 2: invalidate every other copy, then grant.
 		c.invalidate(a, k)
-		grant()
+		grant(directory.PresentStar)
 	case directory.Absent, directory.PresentM:
 		// The block's state changed while the MREQUEST waited (the
 		// deny-on-arrival check covers most of this; a state change while
@@ -490,11 +531,38 @@ func (c *Controller) eject(p proto.Pending) {
 	c.stats.Ejects.Inc()
 	k, a := p.M.Cache, p.M.Block
 	if p.M.RW == msg.Read {
-		// Case 2: a clean ejection can return a Present1 block to Absent.
-		if c.State(a) == directory.Present1 {
-			c.setState(a, directory.Absent)
-			c.tbRecord(a, nil)
+		// Case 2: a clean ejection can reclaim the block toward Absent.
+		//
+		// The paper's Present1 → Absent transition assumes the arriving
+		// EJECT describes the copy Present1 counts. Under a network that
+		// only preserves per-pair FIFO order that assumption fails: an
+		// EJECT can be overtaken by another cache's commands, arriving
+		// after its copy was invalidated and the block re-fetched — the
+		// Present1 then counts the *new* holder's copy, and dropping to
+		// Absent would let the next write skip BROADINV and strand that
+		// live copy stale forever (found by internal/mcheck). The two-bit
+		// state cannot identify the holder, so:
+		//
+		//   - with an exact §4.4 translation-buffer entry, the EJECT is
+		//     validated against the true owner set: stale ejects are
+		//     dropped, and the last owner leaving reclaims Absent exactly
+		//     as §3.2.1 intends;
+		//   - without one, Present1 degrades to the Present* overcount —
+		//     always safe, at the price of one BROADINV on the next write.
+		if owners, exact := c.tbLookup(a); exact {
+			if !containsOwner(owners, k) {
+				c.done(a) // stale: k's copy was already invalidated
+				return
+			}
+			c.tbRemoveOwner(a, k)
+			if len(owners) == 1 && c.State(a) == directory.Present1 {
+				c.setState(a, directory.Absent)
+				c.tbRecord(a, nil)
+			}
 		} else {
+			if c.State(a) == directory.Present1 {
+				c.setState(a, directory.PresentStar)
+			}
 			c.tbRemoveOwner(a, k)
 		}
 		c.done(a)
@@ -532,6 +600,9 @@ func (c *Controller) invalidate(a addr.Block, k int) {
 		c.net.Broadcast(c.node(), msg.Message{Kind: msg.KindBroadInv, Block: a, Cache: k},
 			c.broadcastExcept(k)...)
 	}
+	if c.cfg.Hooks != nil && c.cfg.Hooks.SkipMRequestQueueDelete {
+		return
+	}
 	if n := c.ser.DeleteQueued(a, func(p proto.Pending) bool {
 		return p.M.Kind == msg.KindMRequest && p.M.Cache != k
 	}); n > 0 {
@@ -543,7 +614,7 @@ func (c *Controller) invalidate(a addr.Block, k int) {
 // a BROADQUERY broadcast, or a directed PURGE on a translation-buffer hit.
 // onData runs when the data arrives (possibly via a racing eviction).
 func (c *Controller) query(a addr.Block, rw msg.RW, k int, onData func(owner int, data uint64)) {
-	if puts := c.stashed[a]; len(puts) > 0 {
+	if puts := c.stashed[a]; len(puts) > 0 && !c.skipStash() {
 		// The owner's eviction already delivered the data (its EJECT was
 		// queued behind us and its put arrived early). Consume it and
 		// delete the now-subsumed EJECT.
@@ -583,7 +654,7 @@ func (c *Controller) query(a addr.Block, rw msg.RW, k int, onData func(owner int
 // await registers the active transaction's data continuation, consuming a
 // stashed put if one is already buffered.
 func (c *Controller) await(a addr.Block, onData func(owner int, data uint64)) {
-	if puts := c.stashed[a]; len(puts) > 0 {
+	if puts := c.stashed[a]; len(puts) > 0 && !c.skipStash() {
 		put := puts[0]
 		if len(puts) == 1 {
 			delete(c.stashed, a)
@@ -597,6 +668,11 @@ func (c *Controller) await(a addr.Block, onData func(owner int, data uint64)) {
 		panic(fmt.Sprintf("core: controller %d: two waiters for %v", c.cfg.Module, a))
 	}
 	c.waiting[a] = onData
+}
+
+// skipStash reports whether the SkipStashedPutConsume defect is injected.
+func (c *Controller) skipStash() bool {
+	return c.cfg.Hooks != nil && c.cfg.Hooks.SkipStashedPutConsume
 }
 
 // done completes the active transaction on block a.
@@ -671,4 +747,13 @@ func (c *Controller) tbDrop(a addr.Block) {
 	if c.tb != nil {
 		c.tb.Drop(a)
 	}
+}
+
+func containsOwner(owners []int, k int) bool {
+	for _, o := range owners {
+		if o == k {
+			return true
+		}
+	}
+	return false
 }

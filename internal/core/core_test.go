@@ -216,13 +216,33 @@ func TestWriteHitPresentStarBroadcasts(t *testing.T) {
 }
 
 func TestCleanEjectPresent1ToAbsent(t *testing.T) {
-	r := newRig(t, 2, nil)
+	// With an exact §4.4 translation-buffer entry the controller can
+	// validate the ejector against the true owner set, so the last clean
+	// ejection reclaims Absent exactly as §3.2.1 Case 2 intends.
+	r := newRig(t, 2, func(c *Config) { c.TranslationBufferSize = 8 })
 	r.do(t, 0, 1, false)
 	// Block 17 maps to the same set (8 sets, assoc 2): 1%8 == 17%8... 17%8=1 ✓.
 	r.do(t, 0, 17, false)
 	r.do(t, 0, 33, false) // evicts block 1 (LRU)
 	if st := r.state(1); st != directory.Absent {
 		t.Fatalf("state = %v, want Absent after clean ejection", st)
+	}
+}
+
+func TestCleanEjectPresent1WithoutTBOvercounts(t *testing.T) {
+	// Without exact owner knowledge a read EJECT cannot be validated: a
+	// stale one — overtaken in the network, arriving after its copy was
+	// invalidated and the block re-fetched by another cache — is
+	// indistinguishable from a fresh one, and dropping to Absent on it
+	// strands the new holder's live copy untracked (found by
+	// internal/mcheck). Present1 therefore degrades to the safe Present*
+	// overcount.
+	r := newRig(t, 2, nil)
+	r.do(t, 0, 1, false)
+	r.do(t, 0, 17, false)
+	r.do(t, 0, 33, false) // evicts block 1 (LRU)
+	if st := r.state(1); st != directory.PresentStar {
+		t.Fatalf("state = %v, want Present* after unvalidated clean ejection", st)
 	}
 }
 

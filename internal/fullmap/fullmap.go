@@ -57,10 +57,16 @@ type Controller struct {
 
 	waiting map[addr.Block]func(cache int, data uint64)
 	stashed map[addr.Block][]stashedPut
-	// activeSince times each open transaction for occupancy accounting.
-	activeSince map[addr.Block]sim.Time
+	// activeSince times each open transaction for occupancy accounting
+	// (and records the command it services, for state snapshots).
+	activeSince map[addr.Block]txnStart
 
 	sp *obs.SpanRecorder
+}
+
+type txnStart struct {
+	at  sim.Time
+	cmd msg.Message
 }
 
 type stashedPut struct {
@@ -84,7 +90,7 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 		dir:         directory.NewFullMap(cfg.Space.BlocksInModule(cfg.Module), cfg.Topo.Caches),
 		waiting:     make(map[addr.Block]func(int, uint64)),
 		stashed:     make(map[addr.Block][]stashedPut),
-		activeSince: make(map[addr.Block]sim.Time),
+		activeSince: make(map[addr.Block]txnStart),
 	}
 	c.sp = cfg.Obs.Spans()
 	c.ser = proto.NewSerializer(cfg.Mode, c.begin)
@@ -158,7 +164,7 @@ func (c *Controller) handlePut(m msg.Message) {
 }
 
 func (c *Controller) begin(p proto.Pending) {
-	c.activeSince[p.M.Block] = c.kernel.Now()
+	c.activeSince[p.M.Block] = txnStart{at: c.kernel.Now(), cmd: p.M}
 	c.calls.Service(c.cfg.Lat.CtrlService, p)
 }
 
@@ -440,8 +446,49 @@ func (c *Controller) await(a addr.Block, onData func(int, uint64)) {
 
 func (c *Controller) done(a addr.Block) {
 	if since, ok := c.activeSince[a]; ok {
-		c.stats.BusyCycles.Add(uint64(c.kernel.Now() - since))
+		c.stats.BusyCycles.Add(uint64(c.kernel.Now() - since.at))
 		delete(c.activeSince, a)
 	}
 	c.ser.Done(a)
+}
+
+// BlockSnapshot is the full-map analogue of core.BlockSnapshot: the
+// controller's observable state for one block, for model-checker
+// fingerprints. Holders is the exact presence-bit set.
+type BlockSnapshot struct {
+	Holders   []int
+	Modified  bool
+	Mem       uint64
+	Active    bool
+	ActiveCmd msg.Message
+	Waiting   bool
+	Stashed   []StashedPut
+	Queued    []msg.Message
+}
+
+// StashedPut is one buffered early put.
+type StashedPut struct {
+	Cache int
+	Data  uint64
+}
+
+// BlockSnapshot returns the observable controller state for block b.
+func (c *Controller) BlockSnapshot(b addr.Block) BlockSnapshot {
+	s := BlockSnapshot{
+		Holders:  c.Holders(b),
+		Modified: c.Modified(b),
+		Mem:      c.mem.Read(b),
+	}
+	if start, ok := c.activeSince[b]; ok {
+		s.Active = true
+		s.ActiveCmd = start.cmd
+	}
+	_, s.Waiting = c.waiting[b]
+	for _, p := range c.stashed[b] {
+		s.Stashed = append(s.Stashed, StashedPut{Cache: p.cache, Data: p.data})
+	}
+	for _, p := range c.ser.QueuedFor(b) {
+		s.Queued = append(s.Queued, p.M)
+	}
+	return s
 }

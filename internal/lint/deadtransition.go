@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// The dead-transition analyzer flags protocol dispatch arms that no send
+// site in the module can ever reach: a `case msg.KindX` in a cache-side
+// (memory-side) handler is dead when no message with that kind is ever
+// constructed and sent toward a cache (controller). Such an arm is
+// exactly the code the model checker's rule extraction can never
+// exercise — it survives every simulation and every closure because the
+// transition it implements does not exist in the protocol any more.
+//
+// Reachability is resolved per side. Every composite literal carrying a
+// kind constant is attributed to the destinations its enclosing send can
+// reach: a destination built with CacheNode narrows to the cache side, one
+// built with CtrlFor/CtrlNode narrows to the memory side, a Broadcast or a
+// destination the analyzer cannot resolve statically (a variable, a
+// parameter) conservatively reaches both sides. The analyzer therefore
+// under-reports and never accuses a live arm.
+
+// sideMask is a bitset over protocol sides.
+type sideMask uint8
+
+const (
+	sideCache sideMask = 1 << iota
+	sideMem
+	sideBoth = sideCache | sideMem
+)
+
+// checkDeadTransitions applies the dead-transition analyzer.
+func checkDeadTransitions(mod *module, cfg Config) []Diagnostic {
+	msgPkg := mod.pkgs[cfg.MsgPath]
+	protoPkg := mod.pkgs[cfg.ProtoPath]
+	if msgPkg == nil || protoPkg == nil {
+		return nil // no protocol vocabulary (fixtures for other analyzers)
+	}
+	cacheIface := ifaceIn(protoPkg, cfg.CacheIface)
+	memIface := ifaceIn(protoPkg, cfg.MemIface)
+	enumObj := msgPkg.types.Scope().Lookup(cfg.MsgEnum)
+	if cacheIface == nil || memIface == nil || enumObj == nil {
+		return nil // handler-completeness reports the broken vocabulary
+	}
+	enumType := enumObj.Type()
+	if !declaresCarrier(msgPkg, enumType) {
+		// No message struct carries the enum: there is no send side to
+		// cross-reference (vocabularies where the kind itself is the
+		// message, as in some fixtures), so reachability is undecidable.
+		return nil
+	}
+
+	// Pass 1, module-wide: which kinds can reach which side. A kind
+	// counts as sent when its constant appears as the enum-typed field of
+	// a struct composite literal (msg.Message{Kind: ...}) or is assigned
+	// to an enum-typed struct field; the reachable side comes from the
+	// enclosing call's destination argument.
+	sent := make(map[int64]sideMask)
+	for _, p := range mod.sorted() {
+		if p == msgPkg {
+			continue
+		}
+		for _, f := range p.files {
+			collectSends(p, f, enumType, sent)
+		}
+	}
+
+	// Pass 2: dispatch arms in handler packages. A package is a handler
+	// package when it declares a CacheSide or MemSide implementation;
+	// each switch over the kind enum inside it dispatches transitions
+	// for that side.
+	var diags []Diagnostic
+	for _, p := range mod.sorted() {
+		if p == msgPkg {
+			continue
+		}
+		var side sideMask
+		var sideName string
+		if implementsIn(p, cacheIface) {
+			side |= sideCache
+			sideName = "cache-side"
+		}
+		if implementsIn(p, memIface) {
+			side |= sideMem
+			sideName = "memory-side"
+		}
+		if side == 0 {
+			continue
+		}
+		if side == sideBoth {
+			sideName = "cache-and-memory-side"
+		}
+		for _, f := range p.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				if tv, ok := p.info.Types[sw.Tag]; !ok || !types.Identical(tv.Type, enumType) {
+					return true
+				}
+				for _, clause := range sw.Body.List {
+					cc := clause.(*ast.CaseClause)
+					for _, e := range cc.List {
+						v, ok := enumConst(p, e, enumType)
+						if !ok {
+							continue
+						}
+						if sent[v]&side != 0 {
+							continue
+						}
+						diags = append(diags, Diagnostic{
+							Pos:      mod.fset.Position(e.Pos()),
+							Analyzer: AnalyzerDeadTransition,
+							Message: fmt.Sprintf(
+								"dead transition: no send site delivers %s to a %s handler",
+								exprName(e), sideName),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// declaresCarrier reports whether the package declares a struct type
+// with a field of the enum type (the message record sends are built from).
+func declaresCarrier(p *pkg, enumType types.Type) bool {
+	scope := p.types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if types.Identical(st.Field(i).Type(), enumType) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enumConst resolves e to a constant value of the enum type.
+func enumConst(p *pkg, e ast.Expr, enumType types.Type) (int64, bool) {
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Value == nil || !types.Identical(tv.Type, enumType) {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, ok
+}
+
+// exprName renders a case expression for diagnostics (KindX or pkg.KindX).
+func exprName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprName(x.X) + "." + x.Sel.Name
+	}
+	return "constant"
+}
+
+// collectSends walks one file recording, for every kind constant that
+// flows into a value context, the sides the enclosing send (if visible)
+// can reach. Value contexts are message literals, assignments, variable
+// declarations, call arguments and returns; a constant in a comparison
+// or a case clause inspects a received message and is not a send.
+func collectSends(p *pkg, f *ast.File, enumType types.Type, sent map[int64]sideMask) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		both := func(exprs []ast.Expr) {
+			for _, e := range exprs {
+				if v, ok := enumConst(p, e, enumType); ok {
+					sent[v] |= sideBoth
+				}
+			}
+		}
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			// msg.Message{Kind: msg.KindX, ...} — any struct literal
+			// whose enum-typed field is set to a constant. The one
+			// context where the destination may be statically visible.
+			for _, elt := range x.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if v, ok := enumConst(p, kv.Value, enumType); ok {
+					sent[v] |= destOf(stack)
+				}
+			}
+		case *ast.AssignStmt:
+			// kind := msg.KindX / m.Kind = msg.KindX — the constant
+			// escapes into a value the analyzer cannot follow.
+			both(x.Rhs)
+		case *ast.ValueSpec:
+			both(x.Values)
+		case *ast.ReturnStmt:
+			both(x.Results)
+		case *ast.CallExpr:
+			// A kind passed to any function may end up in a message.
+			// (The recognized send wrappers take whole messages, so this
+			// never shadows the composite-literal narrowing above.)
+			both(x.Args)
+		}
+		return true
+	})
+}
+
+// destOf classifies the destinations reachable from the innermost call
+// enclosing the node at the top of the stack. Only a direct Send/send
+// argument with a syntactically visible CacheNode/CtrlFor/CtrlNode
+// destination narrows; everything else reaches both sides.
+func destOf(stack []ast.Node) sideMask {
+	// Find the innermost enclosing call the literal is an argument of.
+	for i := len(stack) - 2; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		inArgs := false
+		for _, a := range call.Args {
+			if a == stack[i+1] {
+				inArgs = true
+				break
+			}
+		}
+		if !inArgs {
+			continue // inside the Fun expression; keep looking outward
+		}
+		switch calleeName(call) {
+		case "Broadcast":
+			return sideBoth
+		case "Send": // network.Network: Send(src, dst, m)
+			if len(call.Args) >= 2 {
+				return destExprSide(call.Args[1])
+			}
+		case "send": // component helper: send(dst, m)
+			if len(call.Args) >= 1 {
+				return destExprSide(call.Args[0])
+			}
+		}
+		return sideBoth // unrecognized wrapper: assume it can go anywhere
+	}
+	return sideBoth // not a send argument (stored in a field, compared, ...)
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// destExprSide classifies a destination expression by the topology
+// constructor visible inside it.
+func destExprSide(e ast.Expr) sideMask {
+	var mask sideMask
+	ast.Inspect(e, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "CacheNode":
+			mask |= sideCache
+		case "CtrlFor", "CtrlNode":
+			mask |= sideMem
+		}
+		return true
+	})
+	if mask == 0 {
+		return sideBoth // a variable or parameter: unresolvable, assume both
+	}
+	return mask
+}

@@ -16,6 +16,17 @@
 //     package (one containing a proto.MemSide implementation), so adding
 //     a message without handling both ends fails the build.
 //
+//   - dead-transition: the inverse of handler-completeness — every
+//     dispatch arm (`case msg.KindX` in a cache-side or memory-side
+//     handler) must be reachable from some send site that can deliver
+//     that kind to that side. Destinations built with CacheNode narrow a
+//     send to the cache side, CtrlFor/CtrlNode to the memory side, and
+//     anything unresolvable (a variable, a Broadcast) counts for both,
+//     so the analyzer under-reports rather than accusing live arms. A
+//     dead arm is a transition the model checker (internal/mcheck) can
+//     never exercise: protocol code that survives every closure because
+//     it no longer exists in the protocol.
+//
 //   - determinism: packages reachable from the event kernel (they import
 //     internal/sim, directly or transitively, plus everything those
 //     packages depend on) must not call time.Now, import math/rand,
@@ -40,8 +51,8 @@
 //	//lint:allow <analyzer> <reason>
 //
 // where <reason> is mandatory. The analyzer names are
-// "exhaustive-switch", "handler-completeness", "determinism" and
-// "closure-in-hotpath".
+// "exhaustive-switch", "handler-completeness", "dead-transition",
+// "determinism" and "closure-in-hotpath".
 //
 // The analyzers run in two places: `go run ./cmd/coherencelint ./...`
 // for build pipelines, and TestModuleIsLintClean in this package so that
@@ -56,10 +67,11 @@ import (
 
 // Analyzer names, used in diagnostics and //lint:allow directives.
 const (
-	AnalyzerExhaustive  = "exhaustive-switch"
-	AnalyzerHandlers    = "handler-completeness"
-	AnalyzerDeterminism = "determinism"
-	AnalyzerHotPath     = "closure-in-hotpath"
+	AnalyzerExhaustive     = "exhaustive-switch"
+	AnalyzerHandlers       = "handler-completeness"
+	AnalyzerDeterminism    = "determinism"
+	AnalyzerHotPath        = "closure-in-hotpath"
+	AnalyzerDeadTransition = "dead-transition"
 	// AnalyzerDirective reports malformed //lint:allow directives; it
 	// cannot itself be suppressed.
 	AnalyzerDirective = "allow-directive"
@@ -173,6 +185,7 @@ func Run(cfg Config) ([]Diagnostic, error) {
 	allows, diags := collectAllows(mod)
 	diags = append(diags, checkExhaustive(mod)...)
 	diags = append(diags, checkHandlers(mod, cfg)...)
+	diags = append(diags, checkDeadTransitions(mod, cfg)...)
 	diags = append(diags, checkDeterminism(mod, cfg)...)
 	diags = append(diags, checkHotPath(mod, cfg)...)
 

@@ -63,6 +63,22 @@ func TestExhaustiveFixtures(t *testing.T) {
 	})
 }
 
+func TestDeadTransitionFixtures(t *testing.T) {
+	expect(t, run(t, lint.Config{
+		Dir:       fixture(t, "deadtransgood"),
+		MsgPath:   "deadtransgood/msg",
+		ProtoPath: "deadtransgood/proto",
+	}), nil)
+
+	expect(t, run(t, lint.Config{
+		Dir:       fixture(t, "deadtransbad"),
+		MsgPath:   "deadtransbad/msg",
+		ProtoPath: "deadtransbad/proto",
+	}), []string{
+		"agent/agent.go:18:7: [dead-transition] dead transition: no send site delivers msg.KindDrain to a cache-side handler",
+	})
+}
+
 func TestHandlerFixtures(t *testing.T) {
 	expect(t, run(t, lint.Config{
 		Dir:       fixture(t, "handlergood"),

@@ -1,0 +1,23 @@
+// Package agent is the cache-side dispatcher; its KindDrain arm is dead
+// because Drain is only ever sent toward the controller.
+package agent
+
+import "deadtransbad/msg"
+
+// Agent implements proto.CacheSide.
+type Agent struct {
+	top msg.Topo
+	net msg.Net
+}
+
+// Handle dispatches controller commands.
+func (a Agent) Handle(m msg.Message) {
+	switch m.Kind {
+	case msg.KindPing:
+		a.net.Send(0, a.top.CtrlFor(0), msg.Message{Kind: msg.KindPong})
+	case msg.KindDrain:
+		// Dead: no send site delivers Drain to a cache.
+	default:
+		panic("agent: unexpected kind")
+	}
+}

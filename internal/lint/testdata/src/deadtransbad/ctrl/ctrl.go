@@ -1,0 +1,27 @@
+// Package ctrl is the memory-side dispatcher; it sends Ping to caches
+// and Drain only to itself, leaving the agent's Drain arm dead.
+package ctrl
+
+import "deadtransbad/msg"
+
+// Ctrl implements proto.MemSide.
+type Ctrl struct {
+	top msg.Topo
+	net msg.Net
+}
+
+// Serve dispatches cache commands.
+func (c Ctrl) Serve(m msg.Message) {
+	switch m.Kind {
+	case msg.KindPong:
+		c.net.Send(1, c.top.CacheNode(0), msg.Message{Kind: msg.KindPing})
+	case msg.KindDrain:
+	default:
+		panic("ctrl: unexpected kind")
+	}
+}
+
+// Flush queues a drain command on the controller itself.
+func (c Ctrl) Flush() {
+	c.net.Send(1, c.top.CtrlFor(0), msg.Message{Kind: msg.KindDrain})
+}

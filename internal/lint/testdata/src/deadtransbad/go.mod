@@ -1,0 +1,3 @@
+module deadtransbad
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package agent is the cache-side dispatcher; its defensive KindDrain
+// arm is justified with an explicit escape hatch.
+package agent
+
+import "deadtransgood/msg"
+
+// Agent implements proto.CacheSide.
+type Agent struct {
+	top msg.Topo
+	net msg.Net
+}
+
+// Handle dispatches controller commands.
+func (a Agent) Handle(m msg.Message) {
+	switch m.Kind {
+	case msg.KindPing:
+		a.net.Send(0, a.top.CtrlFor(0), msg.Message{Kind: msg.KindPong})
+	case msg.KindDrain: //lint:allow dead-transition the hardware debugger injects drains at caches
+	default:
+		panic("agent: unexpected kind")
+	}
+}

@@ -1,0 +1,26 @@
+// Package ctrl is the memory-side dispatcher; it sends Ping to caches
+// plus Drain to both sides, so every arm is live.
+package ctrl
+
+import "deadtransgood/msg"
+
+// Ctrl implements proto.MemSide.
+type Ctrl struct {
+	top msg.Topo
+	net msg.Net
+}
+
+// Serve dispatches cache commands.
+func (c Ctrl) Serve(m msg.Message) {
+	switch m.Kind {
+	case msg.KindPong, msg.KindDrain:
+		c.net.Send(1, c.top.CacheNode(0), msg.Message{Kind: msg.KindPing})
+	default:
+		panic("ctrl: unexpected kind")
+	}
+}
+
+// Flush queues a drain command on the controller itself.
+func (c Ctrl) Flush() {
+	c.net.Send(1, c.top.CtrlFor(0), msg.Message{Kind: msg.KindDrain})
+}

@@ -1,0 +1,3 @@
+module deadtransgood
+
+go 1.22

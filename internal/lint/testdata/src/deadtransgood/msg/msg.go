@@ -1,0 +1,36 @@
+// Package msg is a miniature message vocabulary for the dead-transition
+// fixtures: a kind enum, a message struct, a topology with the
+// destination constructors the analyzer recognizes, and a network.
+package msg
+
+// Kind identifies a command.
+type Kind uint8
+
+// The command kinds.
+const (
+	KindInvalid Kind = iota
+	KindPing
+	KindPong
+	KindDrain
+)
+
+// Message is one network command.
+type Message struct {
+	Kind Kind
+	Data int
+}
+
+// Topo maps components to node ids.
+type Topo struct{ Caches int }
+
+// CacheNode returns cache k's node id.
+func (t Topo) CacheNode(k int) int { return k }
+
+// CtrlFor returns the controller node for block b.
+func (t Topo) CtrlFor(b int) int { return t.Caches }
+
+// Net delivers messages.
+type Net interface {
+	Send(src, dst int, m Message)
+	Broadcast(src int, m Message)
+}

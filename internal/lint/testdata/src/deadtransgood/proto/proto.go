@@ -1,0 +1,15 @@
+// Package proto declares the two protocol halves the analyzer uses to
+// classify packages as cache-side or memory-side.
+package proto
+
+import "deadtransgood/msg"
+
+// CacheSide is the processor-facing half of a protocol.
+type CacheSide interface {
+	Handle(m msg.Message)
+}
+
+// MemSide is the memory-controller half of a protocol.
+type MemSide interface {
+	Serve(m msg.Message)
+}

@@ -1,0 +1,48 @@
+package mcheck
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceCodec fuzzes the counterexample trace codec: arbitrary bytes
+// must never panic the decoder, and anything that decodes must be a
+// fixed point of encode∘decode — the byte-stability the golden race
+// traces and the mcheck→sim bridge both depend on. The committed corpus
+// under testdata/fuzz seeds real traces (a golden race schedule, a
+// hooked counterexample with a violation line and a crash step) so the
+// fuzzer starts from structurally valid inputs.
+func FuzzTraceCodec(f *testing.F) {
+	// Seed every golden race trace plus the in-code edge cases.
+	goldens, _ := filepath.Glob(filepath.Join("testdata", "race_*.trace"))
+	for _, g := range goldens {
+		if data, err := os.ReadFile(g); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte("mcheck-trace v1\n"))
+	f.Add([]byte("mcheck-trace v1\nprotocol two-bit\ncaches 2\nblocks 1\nsets 1\nrefs 1\ninit 0\nend\n"))
+	f.Add([]byte("mcheck-trace v1\nprotocol full-map\ncaches 3\nblocks 2\nsets 2\nrefs 2\ninit abc\nstep issue 2 read 1 1f\nend\n"))
+	f.Add([]byte("mcheck-trace v1\nprotocol two-bit\ncaches 2\nblocks 1\nsets 1\nrefs 2\nhooks skip-write-miss-invalidate\ninit 9\nviolation stale-read: cache 0 holds v0\nstep issue 0 write 0 a1\nstep deliver 0 2 0\nend\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(data)
+		if err != nil {
+			return // rejecting malformed input is the correct outcome
+		}
+		enc := EncodeTrace(tr)
+		tr2, err := DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("own encoding failed to decode: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("decode(encode(t)) != t:\n  first  %+v\n  second %+v", tr, tr2)
+		}
+		if enc2 := EncodeTrace(tr2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("codec has no fixed point:\n  first  %s\n  second %s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"twobit/internal/msg"
+	"twobit/internal/network"
+	"twobit/internal/obs"
+)
+
+// chooser is a network.Network whose deliveries are externally chosen:
+// messages queue per (source, destination) pair — the per-pair FIFO
+// guarantee is the only ordering the protocols assume — and the explorer
+// picks which queue head to deliver next. It mirrors the delivery-choice
+// network the bounded system.ModelCheck uses, with pair-addressed access
+// so a recorded action replays without re-deriving option indices.
+type chooser struct {
+	handlers map[network.NodeID]network.Handler
+	order    []network.NodeID // attach order, for Broadcast fan-out
+	queues   map[[2]network.NodeID][]msg.Message
+	stats    network.Stats
+}
+
+func newChooser() *chooser {
+	return &chooser{
+		handlers: make(map[network.NodeID]network.Handler),
+		queues:   make(map[[2]network.NodeID][]msg.Message),
+	}
+}
+
+// Attach implements network.Network.
+func (c *chooser) Attach(id network.NodeID, h network.Handler) {
+	if _, dup := c.handlers[id]; dup {
+		panic(fmt.Sprintf("mcheck: node %d attached twice", id))
+	}
+	c.handlers[id] = h
+	c.order = append(c.order, id)
+}
+
+// Send implements network.Network.
+func (c *chooser) Send(src, dst network.NodeID, m msg.Message) {
+	if _, ok := c.handlers[dst]; !ok {
+		panic(fmt.Sprintf("mcheck: send to unattached node %d", dst))
+	}
+	c.stats.Messages.Inc()
+	key := [2]network.NodeID{src, dst}
+	c.queues[key] = append(c.queues[key], m)
+}
+
+// Broadcast implements network.Network with the same fan-out order as
+// every other network: attach order, skipping the source and exclusions.
+func (c *chooser) Broadcast(src network.NodeID, m msg.Message, except ...network.NodeID) int {
+	c.stats.Broadcasts.Inc()
+	n := 0
+	for _, id := range c.order {
+		skip := id == src
+		for _, e := range except {
+			if id == e {
+				skip = true
+			}
+		}
+		if skip {
+			continue
+		}
+		c.Send(src, id, m)
+		n++
+	}
+	return n
+}
+
+// Stats implements network.Network.
+func (c *chooser) Stats() *network.Stats { return &c.stats }
+
+// Observe implements network.Network; the explorer's network stays
+// uninstrumented.
+func (c *chooser) Observe(*obs.Recorder, func(network.NodeID) string) {}
+
+// pending returns the (src,dst) queue for inspection; the caller must
+// not retain or mutate it.
+func (c *chooser) pending(src, dst network.NodeID) []msg.Message {
+	return c.queues[[2]network.NodeID{src, dst}]
+}
+
+// deliver pops the head of the (src,dst) queue into its handler.
+func (c *chooser) deliver(src, dst network.NodeID) error {
+	key := [2]network.NodeID{src, dst}
+	q := c.queues[key]
+	if len(q) == 0 {
+		return fmt.Errorf("mcheck: nothing to deliver on %d->%d", src, dst)
+	}
+	m := q[0]
+	c.queues[key] = q[1:]
+	c.handlers[dst].Deliver(src, m)
+	return nil
+}

@@ -1,4 +1,7 @@
-// Package model implements the paper's analytical performance evaluation.
+// Package model is the paper's analytic cost models: closed forms and
+// numeric chains that price the protocols, not code that verifies them.
+// Despite the name, no protocol "model" in the verification sense lives
+// here — exhaustive state-space model checking is internal/mcheck.
 //
 // tsum.go is the §4.2 derivation: the expected number of extra cache
 // commands the two-bit scheme generates per memory reference relative to
@@ -6,6 +9,7 @@
 // Dubois–Briggs [3] traffic model as a Markov chain over the global state
 // of one shared block (Table 4-2); reference [3]'s closed form is not in
 // the paper, so the chain is a faithful substitute documented in DESIGN.md.
+// cost.go is the §2.4.2/§3.1 directory-storage economics.
 package model
 
 import "fmt"

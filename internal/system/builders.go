@@ -74,6 +74,7 @@ func (b *twoBitBuilder) buildCtrls(m *Machine) []proto.MemSide {
 			Lat:                   m.cfg.Lat,
 			Mode:                  m.cfg.Mode,
 			TranslationBufferSize: m.cfg.TranslationBufferSize,
+			Hooks:                 m.cfg.CoreHooks,
 			Commit:                m.commitHook(),
 			Obs:                   m.cfg.Obs,
 		}, m.kernel, m.net, mem)

@@ -1,0 +1,154 @@
+package system
+
+import (
+	"fmt"
+
+	"twobit/internal/addr"
+	"twobit/internal/msg"
+	"twobit/internal/network"
+	"twobit/internal/sim"
+)
+
+// Replay support for internal/mcheck: the model checker proves properties
+// over a small machine built from the same protocol components, and every
+// counterexample it emits is an action schedule — processor issues
+// interleaved with per-(source,destination) message deliveries.
+// ReplayMachine runs such a schedule through a *full* system Machine
+// (real builders, coherence oracle on) one action at a time, so the
+// checker's state sequence can be cross-validated against the simulator
+// fingerprint by fingerprint.
+
+// ReplayStep is one externally chosen action: either one processor
+// reference issue or the delivery of the head of one (src,dst) queue.
+type ReplayStep struct {
+	Issue bool
+	// Issue fields.
+	Proc int
+	Ref  addr.Ref
+	// Delivery fields (network node ids).
+	Src, Dst network.NodeID
+}
+
+// replayGen hands the machine exactly the reference the current step
+// specifies. Next is only ever called synchronously under
+// ReplayMachine.Step, which plants the reference first.
+type replayGen struct {
+	blocks int
+	next   addr.Ref
+}
+
+func (g *replayGen) Blocks() int       { return g.blocks }
+func (g *replayGen) Next(int) addr.Ref { return g.next }
+
+// ReplayMachine drives a Machine one schedule action at a time over a
+// delivery-choice network. Between steps every timed event has run, so
+// the machine sits at exactly the drained choice points the model
+// checker enumerates.
+type ReplayMachine struct {
+	m      *Machine
+	cn     *choiceNet
+	gen    *replayGen
+	busy   []bool
+	issued []int
+}
+
+// NewReplayMachine assembles a schedule-driven machine over blocks
+// addressable blocks. The network kind in cfg is ignored (the
+// delivery-choice network is substituted), the oracle is forced on in
+// coherence (non-strict) mode, and tracing and observability are
+// disabled.
+func NewReplayMachine(cfg Config, blocks int) (*ReplayMachine, error) {
+	cfg.Oracle = true
+	cfg.TraceWriter = nil
+	cfg.Obs = nil
+	cfg.NetJitter = 0
+	cn := newChoiceNet()
+	gen := &replayGen{blocks: blocks}
+	m, err := newMachine(cfg, gen, nil, func(*sim.Kernel) network.Network { return cn })
+	if err != nil {
+		return nil, err
+	}
+	m.strict = false // schedules reorder deliveries arbitrarily
+	r := &ReplayMachine{
+		m: m, cn: cn, gen: gen,
+		busy:   make([]bool, cfg.Procs),
+		issued: make([]int, cfg.Procs),
+	}
+	m.refDone = func(p int) { r.busy[p] = false }
+	return r, nil
+}
+
+// Step applies one schedule action and drains all resulting timed
+// events. A protocol handler panic (possible only under injected
+// defects) is converted to an error.
+func (r *ReplayMachine) Step(s ReplayStep) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("protocol panic on %+v: %v", s, rec)
+		}
+	}()
+	if s.Issue {
+		if s.Proc < 0 || s.Proc >= r.m.cfg.Procs {
+			return fmt.Errorf("system: replay issue to processor %d of %d", s.Proc, r.m.cfg.Procs)
+		}
+		if r.busy[s.Proc] {
+			return fmt.Errorf("system: replay issue to busy processor %d", s.Proc)
+		}
+		if int(s.Ref.Block) >= r.gen.blocks {
+			return fmt.Errorf("system: replay issue beyond block space: %v", s.Ref.Block)
+		}
+		r.gen.next = s.Ref
+		r.busy[s.Proc] = true
+		r.issued[s.Proc]++
+		r.m.issue(s.Proc, 1)
+	} else {
+		if err := r.cn.deliverPair(s.Src, s.Dst); err != nil {
+			return err
+		}
+	}
+	r.m.kernel.Run()
+	return nil
+}
+
+// Machine exposes the driven machine.
+func (r *ReplayMachine) Machine() *Machine { return r.m }
+
+// Busy reports whether processor p has a reference outstanding.
+func (r *ReplayMachine) Busy(p int) bool { return r.busy[p] }
+
+// Issued returns how many references processor p has issued.
+func (r *ReplayMachine) Issued(p int) int { return r.issued[p] }
+
+// Pending returns the in-flight messages queued from src to dst, in
+// delivery order.
+func (r *ReplayMachine) Pending(src, dst network.NodeID) []msg.Message {
+	return r.cn.pendingFor(src, dst)
+}
+
+// Errs returns the coherence violations the oracle has recorded so far.
+func (r *ReplayMachine) Errs() []error { return r.m.errs }
+
+// pendingFor returns the messages queued from src to dst, in order.
+func (c *choiceNet) pendingFor(src, dst network.NodeID) []msg.Message {
+	q := c.queues[[2]network.NodeID{src, dst}]
+	if len(q) == 0 {
+		return nil
+	}
+	out := make([]msg.Message, len(q))
+	for i, pm := range q {
+		out[i] = pm.m
+	}
+	return out
+}
+
+// deliverPair pops the head of the (src,dst) queue and hands it to dst.
+func (c *choiceNet) deliverPair(src, dst network.NodeID) error {
+	key := [2]network.NodeID{src, dst}
+	q := c.queues[key]
+	if len(q) == 0 {
+		return fmt.Errorf("system: nothing queued from node %d to node %d", src, dst)
+	}
+	c.queues[key] = q[1:]
+	c.handlers[dst].Deliver(q[0].src, q[0].m)
+	return nil
+}

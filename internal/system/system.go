@@ -14,6 +14,7 @@ import (
 
 	"twobit/internal/addr"
 	"twobit/internal/cache"
+	"twobit/internal/core"
 	"twobit/internal/network"
 	"twobit/internal/obs"
 	"twobit/internal/proto"
@@ -112,6 +113,10 @@ type Config struct {
 
 	// TranslationBufferSize enables the §4.4 owner cache (TwoBit only).
 	TranslationBufferSize int
+	// CoreHooks injects deliberate two-bit protocol defects so
+	// model-checker counterexamples replay in the simulator (test-only;
+	// nil in production). TwoBit only.
+	CoreHooks *core.BugHooks
 	// DisableCleanEject drops EJECT(·,·,"read"), the paper's optional part
 	// of the replacement protocol.
 	DisableCleanEject bool
@@ -173,6 +178,9 @@ func (c Config) Validate() error {
 	if c.TranslationBufferSize > 0 && c.Protocol != TwoBit {
 		return errors.New("system: translation buffer applies to the two-bit protocol only")
 	}
+	if c.CoreHooks != nil && c.Protocol != TwoBit {
+		return errors.New("system: core hooks apply to the two-bit protocol only")
+	}
 	if err := c.DMA.Validate(); err != nil {
 		return err
 	}
@@ -218,6 +226,7 @@ type Machine struct {
 	completed   int
 	issuedRefs  uint64
 	errs        []error
+	refDone     func(p int) // replay hook: runs as each reference completes
 
 	latencies       stats.Histogram // per-reference latency, cycles
 	sharedLatencies stats.Histogram // latency of shared references only
@@ -335,6 +344,9 @@ func (m *Machine) Oracle() *Oracle { return m.oracle }
 
 // CacheSide returns cache k's protocol agent.
 func (m *Machine) CacheSide(k int) proto.CacheSide { return m.caches[k] }
+
+// MemSide returns memory controller j.
+func (m *Machine) MemSide(j int) proto.MemSide { return m.ctrls[j] }
 
 // commitHook returns the oracle hook (nil when the oracle is off).
 func (m *Machine) commitHook() proto.CommitFunc {
@@ -455,6 +467,9 @@ func (d *procDriver) complete(got uint64) {
 		if err != nil {
 			m.errs = append(m.errs, fmt.Errorf("proc %d: %w", d.p, err))
 		}
+	}
+	if m.refDone != nil {
+		m.refDone(d.p)
 	}
 	if d.remaining > 1 {
 		d.remaining--

@@ -335,6 +335,10 @@ func TestCleanEjectReducesBroadcasts(t *testing.T) {
 	run := func(disable bool) Results {
 		cfg := DefaultConfig(TwoBit, 8)
 		cfg.DisableCleanEject = disable
+		// The reclamation to Absent needs the §4.4 translation buffer to
+		// validate ejects against the exact owner set; without it clean
+		// ejects only degrade Present1 to Present* (see core.Controller).
+		cfg.TranslationBufferSize = 64
 		// Small direct-mapped caches force evictions of shared blocks.
 		cfg.CacheSets = 16
 		cfg.CacheAssoc = 1

@@ -166,6 +166,35 @@ END {
 echo "==> wrote $SPANS_OUT"
 cat "$SPANS_OUT"
 
+# Model-checker baseline: closure rate (canonical states per second) for
+# the default two-bit configuration of internal/mcheck. A protocol or
+# kernel change that silently halves verification throughput fails the
+# gate before it can land.
+MCHECK_OUT=BENCH_mcheck.json
+MCHECK_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW" "$MCHECK_RAW"; rm -rf "$PREV"' EXIT
+
+echo "==> go test -bench BenchmarkMCheck ./internal/mcheck"
+go test -run '^$' -bench '^BenchmarkMCheck$' -benchtime 5x ./internal/mcheck | tee "$MCHECK_RAW"
+
+awk -v commit="$COMMIT" -v date="$DATE" '
+/^BenchmarkMCheck/ {
+    for (i = 2; i <= NF; i++) {
+        if ($i == "states/s") rate = $(i - 1)
+    }
+    seen = 1
+}
+END {
+    if (!seen || rate == "") { print "bench.sh: mcheck benchmark did not report states/s" > "/dev/stderr"; exit 1 }
+    printf "{\n  \"benchmark\": \"BenchmarkMCheck\",\n"
+    printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+    printf "  \"mcheck\": {\"states_per_second\": %s}\n", rate
+    printf "}\n"
+}' "$MCHECK_RAW" > "$MCHECK_OUT"
+
+echo "==> wrote $MCHECK_OUT"
+cat "$MCHECK_OUT"
+
 # Regression gate: judge every fresh baseline against its committed
 # predecessor. A >10% throughput loss or any allocs/op increase fails
 # here, before the new numbers can be committed as the baseline.

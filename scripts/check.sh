@@ -4,8 +4,10 @@
 # under the race detector, then a sweep smoke stage that exercises the
 # experiment-orchestration engine end to end: a tiny campaign must produce
 # byte-identical stores at workers=1 and workers=4, and a store truncated
-# to half must converge to those same bytes under -resume. Everything
-# must pass for a change to land.
+# to half must converge to those same bytes under -resume. Then the
+# model checker closes the small configurations outright and the wire
+# codecs take a 30 s fuzz each. Everything must pass for a change to
+# land.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -145,10 +147,23 @@ if go run ./cmd/benchdiff -baseline "$SMOKE/bd_base.json" -fresh "$SMOKE/bd_allo
     exit 1
 fi
 
+echo "==> mcheck: full 2-cache closures (both protocols)"
+go run ./cmd/mcheck -caches=2 -blocks=2 -refs=2
+go run ./cmd/mcheck -protocol=full-map -caches=2 -blocks=2 -refs=2
+
+echo "==> mcheck: full 3-cache x 1-block closure"
+go run ./cmd/mcheck -caches=3 -blocks=1 -refs=2
+
+echo "==> mcheck: bounded 3-cache x 2-block prefix (wall-clock budget)"
+go run ./cmd/mcheck -caches=3 -blocks=2 -refs=2 -maxstates=100000
+
 echo "==> fuzz: results codec (30s)"
 go test -run '^$' -fuzz '^FuzzDecodeResults$' -fuzztime 30s ./internal/system
 
 echo "==> fuzz: store prefix parser (30s)"
 go test -run '^$' -fuzz '^FuzzStorePrefix$' -fuzztime 30s ./internal/sweep
+
+echo "==> fuzz: mcheck trace codec (30s)"
+go test -run '^$' -fuzz '^FuzzTraceCodec$' -fuzztime 30s ./internal/mcheck
 
 echo "OK"
