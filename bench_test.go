@@ -10,16 +10,23 @@
 package twobit
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
+	"twobit/internal/addr"
+	"twobit/internal/memtrace"
 	"twobit/internal/msg"
 	"twobit/internal/network"
 	"twobit/internal/obs"
 	"twobit/internal/proto"
 	"twobit/internal/sim"
 	"twobit/internal/sweep"
+	"twobit/internal/tracegen"
 	"twobit/internal/workload"
 )
 
@@ -560,6 +567,94 @@ func BenchmarkObsMachine(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchTraceSpec is the serving-scale scenario the trace benchmarks
+// synthesize and replay.
+func benchTraceSpec(procs int) tracegen.Spec {
+	return tracegen.Resolve(tracegen.Spec{Name: "kv-serving", Procs: procs, Seed: 21})
+}
+
+// BenchmarkTraceSynthesize (E-trace) measures scenario-synthesis
+// throughput: references drawn from the kv-serving scenario and encoded
+// straight into the chunked format, no trace ever held in memory.
+// scripts/bench.sh archives it as BENCH_trace.json.
+func BenchmarkTraceSynthesize(b *testing.B) {
+	spec := benchTraceSpec(8)
+	const refs = 20000
+	for i := 0; i < b.N; i++ {
+		if err := tracegen.Synthesize(io.Discard, spec, refs, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(spec.Procs*refs*b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkTraceDecode measures chunked-format decode throughput: one
+// streaming scan over an encoded trace, chunk by chunk.
+func BenchmarkTraceDecode(b *testing.B) {
+	spec := benchTraceSpec(8)
+	const refs = 20000
+	var buf bytes.Buffer
+	if err := tracegen.Synthesize(&buf, spec, refs, 0, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	total := 0
+	for i := 0; i < b.N; i++ {
+		n := 0
+		_, err := memtrace.ScanChunked(bytes.NewReader(buf.Bytes()), func(proc int, rs []addr.Ref) error {
+			n += len(rs)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkTraceReplay drives the full machine from the same recorded
+// trace twice over — once materialized in memory, once streamed from an
+// on-disk chunked file — so the cost of O(chunk) residency is measured
+// against the in-memory ceiling it must keep up with.
+func BenchmarkTraceReplay(b *testing.B) {
+	spec := benchTraceSpec(8)
+	const refs = 4000
+	tr := memtrace.Record(tracegen.New(spec), spec.Procs, refs)
+	path := filepath.Join(b.TempDir(), "bench.mtrc2")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.WriteChunked(f, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, src TraceSource) {
+		for i := 0; i < b.N; i++ {
+			cfg := DefaultConfig(TwoBit, spec.Procs)
+			if _, err := RunFromTrace(cfg, src, refs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(spec.Procs*refs*b.N)/b.Elapsed().Seconds(), "refs/s")
+	}
+	b.Run("src=memory", func(b *testing.B) {
+		run(b, tr)
+	})
+	b.Run("src=stream", func(b *testing.B) {
+		src, err := OpenTraceFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer CloseTraceSource(src)
+		run(b, src)
+	})
 }
 
 // spanBenchBody is the shared loop for the spans pair: one reference

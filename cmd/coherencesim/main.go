@@ -16,6 +16,9 @@
 //
 //	coherencesim -record trace.bin       # capture the workload to a file
 //	coherencesim -replay trace.bin       # drive the machine from a capture
+//	coherencesim -trace t.mtrc2          # run from any trace file (text,
+//	                                     # varint, or chunked — sniffed);
+//	                                     # chunked traces stream from disk
 package main
 
 import (
@@ -59,6 +62,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the single-run result as JSON")
 		recordTo  = flag.String("record", "", "capture the workload to this trace file instead of simulating")
 		replayOf  = flag.String("replay", "", "drive the machine from this trace file")
+		traceFile = flag.String("trace", "", "run from this trace file of any format (text, varint, or chunked); -procs defaults to the trace's streams")
 	)
 	flag.Parse()
 
@@ -93,6 +97,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "coherencesim: unknown network %q\n", *netName)
 			os.Exit(2)
 		}
+		var src twobit.TraceSource
+		if *traceFile != "" {
+			var err error
+			src, err = twobit.OpenTraceFile(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer twobit.CloseTraceSource(src)
+			procsSet := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "procs" {
+					procsSet = true
+				}
+			})
+			if !procsSet {
+				*procs = src.Procs()
+				if *procs > 64 {
+					*procs = 64 // directory word width caps a machine
+				}
+			}
+		}
 		cfg := twobit.DefaultConfig(p, *procs)
 		cfg.Net = nk
 		cfg.Seed = *seed
@@ -102,6 +127,14 @@ func main() {
 		}
 		if p == twobit.WriteOnce {
 			cfg.Net = twobit.BusNet
+		}
+		if src != nil {
+			res, err := twobit.RunFromTrace(cfg, src, *refs)
+			if err != nil {
+				fatal(err)
+			}
+			printResult(res, *jsonOut)
+			return
 		}
 		var g twobit.Generator
 		if *replayOf != "" {
@@ -121,17 +154,20 @@ func main() {
 		} else {
 			g = buildWorkload(*wlName, *procs, *q, *w, *skew, *seed)
 		}
-		res := runWith(cfg, g, *refs)
-		if *jsonOut {
-			js, err := res.JSON()
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(js)
-			return
-		}
-		fmt.Println(res)
+		printResult(runWith(cfg, g, *refs), *jsonOut)
 	}
+}
+
+func printResult(res twobit.Results, jsonOut bool) {
+	if jsonOut {
+		js, err := res.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(js)
+		return
+	}
+	fmt.Println(res)
 }
 
 func fatal(err error) {

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -164,6 +165,16 @@ func (l *loader) load(path string) (*pkg, error) {
 	for _, e := range ents {
 		n := e.Name()
 		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		// Honor build constraints (//go:build lines and _GOOS/_GOARCH
+		// filename suffixes) for the host platform, as go build would:
+		// type-checking both halves of a per-platform pair sees every
+		// symbol declared twice.
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
+			if err != nil {
+				return nil, err
+			}
 			continue
 		}
 		f, err := parser.ParseFile(l.mod.fset, filepath.Join(dir, n), nil, parser.ParseComments)

@@ -145,6 +145,9 @@ func ReadText(r io.Reader) (*Trace, error) {
 					if err != nil {
 						return nil, fmt.Errorf("memtrace: line %d: bad procs header: %w", lineNo, err)
 					}
+					if n < 1 || n > maxStreamProcs {
+						return nil, fmt.Errorf("memtrace: line %d: procs=%d outside 1..%d", lineNo, n, maxStreamProcs)
+					}
 					t = NewTrace(n)
 				}
 			}

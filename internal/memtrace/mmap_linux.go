@@ -1,0 +1,48 @@
+//go:build linux
+
+package memtrace
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"syscall"
+)
+
+// mmapBacking maps a chunked trace read-only so replay reads fault
+// pages in on demand — the kernel's page cache is the chunk cache, and
+// a 100M-reference file costs no heap at all.
+type mmapBacking struct {
+	f    *os.File
+	data []byte
+}
+
+func (m *mmapBacking) Close() error {
+	err := syscall.Munmap(m.data)
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// openStreamBacking maps f and opens a StreamReader over the mapping.
+// If mmap fails (exotic filesystems, size 0), it falls back to pread
+// on the file itself.
+func openStreamBacking(f *os.File, size int64) (*StreamReader, io.Closer, error) {
+	if size > 0 && size <= int64(int(^uint(0)>>1)) {
+		data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			sr, serr := OpenStream(bytes.NewReader(data), size)
+			if serr != nil {
+				syscall.Munmap(data)
+				return nil, nil, serr
+			}
+			return sr, &mmapBacking{f: f, data: data}, nil
+		}
+	}
+	sr, err := OpenStream(f, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sr, f, nil
+}

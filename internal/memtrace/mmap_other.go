@@ -1,0 +1,18 @@
+//go:build !linux
+
+package memtrace
+
+import (
+	"io"
+	"os"
+)
+
+// openStreamBacking opens a StreamReader directly over the file via
+// pread; platforms without the mmap fast path still stream chunks.
+func openStreamBacking(f *os.File, size int64) (*StreamReader, io.Closer, error) {
+	sr, err := OpenStream(f, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sr, f, nil
+}

@@ -50,13 +50,14 @@ func MetricNames() []string {
 	return names
 }
 
-// GridSet is the aggregate of one (protocol, net, q) section of a
-// campaign: grids of the per-cell mean, minimum and maximum of the metric
-// across replicates, rows w and columns n — the shape of the paper's
-// tables.
+// GridSet is the aggregate of one (protocol, net, scenario, q) section
+// of a campaign: grids of the per-cell mean, minimum and maximum of the
+// metric across replicates, rows w and columns n — the shape of the
+// paper's tables. Scenario is "" for classic-generator campaigns.
 type GridSet struct {
 	Protocol string
 	Net      string
+	Scenario string
 	Q        float64
 	Mean     report.Grid
 	Min      report.Grid
@@ -64,9 +65,9 @@ type GridSet struct {
 }
 
 // Aggregate folds a campaign's records into one GridSet per (protocol,
-// net, q) section, in plan-axis order. Failed runs are skipped; a cell
-// whose every replicate failed reports 0 and the returned failure count
-// is non-zero.
+// net, scenario, q) section, in plan-axis order. Failed runs are
+// skipped; a cell whose every replicate failed reports 0 and the
+// returned failure count is non-zero.
 func Aggregate(p *Plan, recs []Record, metricName string) ([]GridSet, int, error) {
 	metric, err := Metric(metricName)
 	if err != nil {
@@ -111,17 +112,19 @@ func Aggregate(p *Plan, recs []Record, metricName string) ([]GridSet, int, error
 	}
 
 	type sectionKey struct {
-		protocol, net string
-		q             float64
+		protocol, net, scenario string
+		q                       float64
 	}
 	aggs := make(map[sectionKey][][]cellAgg)
 	var order []sectionKey
 	for _, ps := range p.Protocols {
 		for _, ns := range p.Nets {
-			for _, q := range p.Qs {
-				k := sectionKey{ps, ns, q}
-				aggs[k] = newCells()
-				order = append(order, k)
+			for _, scen := range p.scenarioAxis() {
+				for _, q := range p.Qs {
+					k := sectionKey{ps, ns, scen.Scenario, q}
+					aggs[k] = newCells()
+					order = append(order, k)
+				}
 			}
 		}
 	}
@@ -137,7 +140,7 @@ func Aggregate(p *Plan, recs []Record, metricName string) ([]GridSet, int, error
 			return nil, 0, err
 		}
 		pt := points[i]
-		cells, ok := aggs[sectionKey{pt.Protocol.String(), pt.Net.String(), pt.Q}]
+		cells, ok := aggs[sectionKey{pt.Protocol.String(), pt.Net.String(), pt.Scenario, pt.Q}]
 		if !ok {
 			return nil, 0, fmt.Errorf("sweep: record %d does not belong to any plan section", i)
 		}
@@ -156,10 +159,13 @@ func Aggregate(p *Plan, recs []Record, metricName string) ([]GridSet, int, error
 	out := make([]GridSet, 0, len(order))
 	for _, k := range order {
 		cells := aggs[k]
-		gs := GridSet{Protocol: k.protocol, Net: k.net, Q: k.q}
+		gs := GridSet{Protocol: k.protocol, Net: k.net, Scenario: k.scenario, Q: k.q}
 		title := fmt.Sprintf("%s [%s] %s q=%s", p.Name, metricName, k.protocol, trimFloat(k.q))
 		if len(p.Nets) > 1 {
 			title += " net=" + k.net
+		}
+		if k.scenario != "" {
+			title += " scen=" + k.scenario
 		}
 		mk := func(kind string, pick func(cellAgg) float64) report.Grid {
 			g := report.Grid{

@@ -7,7 +7,6 @@ import (
 
 	"twobit/internal/obs"
 	"twobit/internal/system"
-	"twobit/internal/workload"
 )
 
 // Record is one completed run: the point's coordinates plus either the
@@ -22,6 +21,7 @@ type Record struct {
 	W         float64         `json:"w"`
 	Procs     int             `json:"procs"`
 	Replicate int             `json:"replicate"`
+	Scenario  string          `json:"scenario,omitempty"`
 	Seed      uint64          `json:"seed"`
 	Err       string          `json:"err,omitempty"`
 	Results   json.RawMessage `json:"results,omitempty"`
@@ -48,9 +48,10 @@ func runPoint(p *Plan, pt Point) Record {
 		W:         pt.W,
 		Procs:     pt.Procs,
 		Replicate: pt.Replicate,
+		Scenario:  pt.Scenario,
 		Seed:      pt.Seed,
 	}
-	gen := workload.NewSharedPrivate(p.workloadConfig(pt))
+	gen := p.generator(pt)
 	cfg := p.Config(pt)
 	if p.Obs || p.Spans {
 		cfg.Obs = obs.New(0) // metrics only: no event ring in stored campaigns
@@ -92,10 +93,11 @@ func CheckPrefix(p *Plan, recs []Record) error {
 	for i, rec := range recs {
 		pt := points[i]
 		if rec.Seed != pt.Seed || rec.Protocol != pt.Protocol.String() || rec.Net != pt.Net.String() ||
-			rec.Q != pt.Q || rec.W != pt.W || rec.Procs != pt.Procs || rec.Replicate != pt.Replicate {
-			return fmt.Errorf("sweep: store record %d (%s/%s q=%g w=%g n=%d rep=%d seed=%d) was produced by a different plan: run %d expands to %s/%s q=%g w=%g n=%d rep=%d seed=%d",
-				i, rec.Protocol, rec.Net, rec.Q, rec.W, rec.Procs, rec.Replicate, rec.Seed,
-				i, pt.Protocol, pt.Net, pt.Q, pt.W, pt.Procs, pt.Replicate, pt.Seed)
+			rec.Q != pt.Q || rec.W != pt.W || rec.Procs != pt.Procs || rec.Replicate != pt.Replicate ||
+			rec.Scenario != pt.Scenario {
+			return fmt.Errorf("sweep: store record %d (%s/%s scen=%q q=%g w=%g n=%d rep=%d seed=%d) was produced by a different plan: run %d expands to %s/%s scen=%q q=%g w=%g n=%d rep=%d seed=%d",
+				i, rec.Protocol, rec.Net, rec.Scenario, rec.Q, rec.W, rec.Procs, rec.Replicate, rec.Seed,
+				i, pt.Protocol, pt.Net, pt.Scenario, pt.Q, pt.W, pt.Procs, pt.Replicate, pt.Seed)
 		}
 	}
 	return nil

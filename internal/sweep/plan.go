@@ -37,6 +37,7 @@ import (
 	"twobit/internal/rng"
 	"twobit/internal/sim"
 	"twobit/internal/system"
+	"twobit/internal/tracegen"
 	"twobit/internal/workload"
 )
 
@@ -73,6 +74,16 @@ type Plan struct {
 	HotBlocks    int     `json:"hot_blocks,omitempty"`    // default 64
 	ColdBlocks   int     `json:"cold_blocks,omitempty"`   // default 512
 
+	// Scenarios optionally replaces the §4.2 generator with serving
+	// scenarios (internal/tracegen): each entry is a spec, resolved
+	// against the preset of the same name, and becomes one more campaign
+	// axis between net and q. Per point, the q axis overrides the
+	// scenario's shared fraction, the w axis its write-heavy write
+	// probability, and the run's hermetic seed its seed — so replicates
+	// vary and the workload-shape fields above are ignored. Empty keeps
+	// the classic generator (and run ids identical to older plans).
+	Scenarios []tracegen.Spec `json:"scenarios,omitempty"`
+
 	// NoOracle disables the per-run linearizability checker; the default
 	// is checking on, so every campaign doubles as a correctness sweep.
 	NoOracle bool `json:"no_oracle,omitempty"`
@@ -105,6 +116,11 @@ type Point struct {
 	// Seed drives both the workload generator and the machine; it is the
 	// first draw of the rng.New(RootSeed, RunID) stream.
 	Seed uint64
+	// Scenario names the serving scenario driving the run's workload
+	// ("" = the classic §4.2 generator).
+	Scenario string
+	// scenario indexes Plan.Scenarios (-1 when the plan has none).
+	scenario int
 }
 
 // Normalize fills defaulted fields in place.
@@ -170,6 +186,17 @@ func (p *Plan) Validate() error {
 			return fmt.Errorf("sweep: plan %q: %w", p.Name, err)
 		}
 	}
+	seen := make(map[string]bool, len(p.Scenarios))
+	for i, s := range p.Scenarios {
+		name := tracegen.Resolve(s).Name
+		if name == "" {
+			return fmt.Errorf("sweep: plan %q: scenario %d has no name", p.Name, i)
+		}
+		if seen[name] {
+			return fmt.Errorf("sweep: plan %q: duplicate scenario %q", p.Name, name)
+		}
+		seen[name] = true
+	}
 	points, err := p.Points()
 	if err != nil {
 		return err
@@ -178,7 +205,11 @@ func (p *Plan) Validate() error {
 		if err := p.Config(pt).Validate(); err != nil {
 			return fmt.Errorf("sweep: plan %q run %d: %w", p.Name, pt.RunID, err)
 		}
-		if err := p.workloadConfig(pt).Validate(); err != nil {
+		if pt.scenario >= 0 {
+			if err := p.scenarioSpec(pt).Validate(); err != nil {
+				return fmt.Errorf("sweep: plan %q run %d (scenario %s): %w", p.Name, pt.RunID, pt.Scenario, err)
+			}
+		} else if err := p.workloadConfig(pt).Validate(); err != nil {
 			return fmt.Errorf("sweep: plan %q run %d: %w", p.Name, pt.RunID, err)
 		}
 	}
@@ -187,7 +218,26 @@ func (p *Plan) Validate() error {
 
 // Size returns the number of runs the plan expands to.
 func (p *Plan) Size() int {
-	return len(p.Protocols) * len(p.Nets) * len(p.Qs) * len(p.Ws) * len(p.Procs) * p.Replicates
+	scens := len(p.Scenarios)
+	if scens == 0 {
+		scens = 1
+	}
+	return len(p.Protocols) * len(p.Nets) * scens * len(p.Qs) * len(p.Ws) * len(p.Procs) * p.Replicates
+}
+
+// scenarioAxis returns the scenario entries to expand over: the plan's
+// scenarios, or a single sentinel "no scenario" entry — so plans
+// without scenarios expand to exactly the points (and run ids, and
+// seeds) they did before the axis existed.
+func (p *Plan) scenarioAxis() []Point {
+	if len(p.Scenarios) == 0 {
+		return []Point{{Scenario: "", scenario: -1}}
+	}
+	axis := make([]Point, len(p.Scenarios))
+	for i, s := range p.Scenarios {
+		axis[i] = Point{Scenario: tracegen.Resolve(s).Name, scenario: i}
+	}
+	return axis
 }
 
 // Points expands the plan into its runs, in run-id order.
@@ -204,21 +254,25 @@ func (p *Plan) Points() ([]Point, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, q := range p.Qs {
-				for _, w := range p.Ws {
-					for _, n := range p.Procs {
-						for r := 0; r < p.Replicates; r++ {
-							points = append(points, Point{
-								RunID:     id,
-								Protocol:  protocol,
-								Net:       net,
-								Q:         q,
-								W:         w,
-								Procs:     n,
-								Replicate: r,
-								Seed:      rng.New(p.RootSeed, uint64(id)).Uint64(),
-							})
-							id++
+			for _, scen := range p.scenarioAxis() {
+				for _, q := range p.Qs {
+					for _, w := range p.Ws {
+						for _, n := range p.Procs {
+							for r := 0; r < p.Replicates; r++ {
+								points = append(points, Point{
+									RunID:     id,
+									Protocol:  protocol,
+									Net:       net,
+									Q:         q,
+									W:         w,
+									Procs:     n,
+									Replicate: r,
+									Seed:      rng.New(p.RootSeed, uint64(id)).Uint64(),
+									Scenario:  scen.Scenario,
+									scenario:  scen.scenario,
+								})
+								id++
+							}
 						}
 					}
 				}
@@ -257,6 +311,22 @@ func (p *Plan) Config(pt Point) system.Config {
 		cfg.Net = system.BusNet
 	}
 	return cfg
+}
+
+// scenarioSpec resolves the scenario spec for a scenario point,
+// specialized to the point's coordinates.
+func (p *Plan) scenarioSpec(pt Point) tracegen.Spec {
+	return tracegen.Resolve(p.Scenarios[pt.scenario]).At(pt.Procs, pt.Q, pt.W, pt.Seed)
+}
+
+// generator builds the workload source for one point — the single
+// construction path shared by campaign execution and trace replay, so
+// the two can never drift.
+func (p *Plan) generator(pt Point) workload.Generator {
+	if pt.Scenario != "" {
+		return tracegen.New(p.scenarioSpec(pt))
+	}
+	return workload.NewSharedPrivate(p.workloadConfig(pt))
 }
 
 // workloadConfig builds the generator parameters for one point.

@@ -5,7 +5,6 @@ import (
 
 	"twobit/internal/obs"
 	"twobit/internal/system"
-	"twobit/internal/workload"
 )
 
 // TracePoint re-executes one run of a plan with the given recorder
@@ -29,7 +28,7 @@ func TracePoint(p *Plan, runID int, rec *obs.Recorder) (system.Results, error) {
 		return system.Results{}, fmt.Errorf("sweep: run %d outside plan %q of %d runs", runID, p.Name, len(points))
 	}
 	pt := points[runID]
-	gen := workload.NewSharedPrivate(p.workloadConfig(pt))
+	gen := p.generator(pt)
 	cfg := p.Config(pt)
 	cfg.Obs = rec
 	m, err := system.New(cfg, gen)

@@ -1,0 +1,35 @@
+package system
+
+import (
+	"fmt"
+
+	"twobit/internal/workload"
+)
+
+// TraceSource is a replayable trace: the number of processor streams it
+// holds and a factory for independent replaying generators. Both the
+// in-memory memtrace.Trace and the streaming memtrace.StreamReader
+// satisfy it; the interface lives here so the system layer stays
+// ignorant of trace encodings.
+type TraceSource interface {
+	Procs() int
+	Generator() workload.Generator
+}
+
+// RunFromTrace builds a machine for cfg and replays refsPerProc
+// references per processor from the trace. The trace must carry at
+// least cfg.Procs streams (extras are ignored, so a 64-proc capture can
+// drive a 4-proc configuration). Replay draws through an independent
+// generator, so the same source can drive any number of concurrent
+// runs, and a given (cfg, trace) pair yields byte-identical Results
+// whether the source is in-memory or streamed from disk.
+func RunFromTrace(cfg Config, src TraceSource, refsPerProc int) (Results, error) {
+	if cfg.Procs > src.Procs() {
+		return Results{}, fmt.Errorf("system: config wants %d processors but trace has %d streams", cfg.Procs, src.Procs())
+	}
+	m, err := New(cfg, src.Generator())
+	if err != nil {
+		return Results{}, err
+	}
+	return m.Run(refsPerProc)
+}

@@ -1,0 +1,151 @@
+package system
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twobit/internal/memtrace"
+	"twobit/internal/tracegen"
+	"twobit/internal/workload"
+)
+
+func traceSpec(procs int) tracegen.Spec {
+	return tracegen.Spec{
+		Name: "test", Procs: procs, Keys: 128, Skew: 1.0,
+		SharedFrac: 0.3, ReadMostlyFrac: 0.8, ReadMostlyWrite: 0.05,
+		WriteHeavyWrite: 0.6, PrivateBlocks: 32, PrivateWrite: 0.3, Seed: 21,
+	}
+}
+
+// TestRunFromTraceStreamMatchesMemory is the subsystem's acceptance
+// contract: the same scenario yields byte-identical Results whether the
+// machine replays the in-memory Trace, the chunked stream at any chunk
+// size, or the live generator.
+func TestRunFromTraceStreamMatchesMemory(t *testing.T) {
+	const procs, refs = 4, 400
+	spec := traceSpec(procs)
+	cfg := DefaultConfig(TwoBit, procs)
+	cfg.Seed = 99
+
+	live, err := RunFromTrace(cfg, liveSource{spec}, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := live.EncodeStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := memtrace.Record(tracegen.New(spec), procs, refs)
+	mem, err := RunFromTrace(cfg, tr, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memBytes, err := mem.EncodeStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, memBytes) {
+		t.Fatal("in-memory trace replay diverged from live generator")
+	}
+
+	for _, chunkCap := range []int{16, 256, 4096} {
+		var buf bytes.Buffer
+		if err := tracegen.Synthesize(&buf, spec, refs, chunkCap, nil); err != nil {
+			t.Fatal(err)
+		}
+		sr, err := memtrace.OpenStream(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunFromTrace(cfg, sr, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBytes, err := got.EncodeStable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, gotBytes) {
+			t.Fatalf("chunkCap=%d: streamed replay diverged from in-memory replay", chunkCap)
+		}
+	}
+}
+
+// fixedSource hands out one pre-built generator, so the test can keep a
+// handle on the StreamGen's residency accounting across the run.
+type fixedSource struct {
+	procs int
+	gen   workload.Generator
+}
+
+func (s fixedSource) Procs() int                    { return s.procs }
+func (s fixedSource) Generator() workload.Generator { return s.gen }
+
+// TestRunFromTraceStreamingResidency proves the acceptance claim end to
+// end: a full simulation driven from a chunked file on disk holds only
+// O(procs · chunk) decoded trace state — the trace never materializes.
+func TestRunFromTraceStreamingResidency(t *testing.T) {
+	const procs, refs, chunkCap = 4, 20000, 256
+	spec := traceSpec(procs)
+	path := filepath.Join(t.TempDir(), "big.mtrc2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracegen.Synthesize(f, spec, refs, chunkCap, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := memtrace.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memtrace.CloseSource(src)
+	sr, ok := src.(*memtrace.StreamReader)
+	if !ok {
+		t.Fatalf("OpenFile returned %T, want *memtrace.StreamReader", src)
+	}
+	g := sr.Stream()
+
+	cfg := DefaultConfig(TwoBit, procs)
+	cfg.Seed = 5
+	if _, err := RunFromTrace(cfg, fixedSource{procs: procs, gen: g}, refs); err != nil {
+		t.Fatal(err)
+	}
+	max := g.MaxResidentBytes()
+	if max == 0 {
+		t.Fatal("residency accounting reported 0 bytes")
+	}
+	bound := int64(procs) * int64(chunkCap) * 24
+	if max > bound {
+		t.Fatalf("resident high-water %dB exceeds O(procs·chunk) bound %dB", max, bound)
+	}
+	if max > fi.Size()/2 {
+		t.Fatalf("resident high-water %dB not small vs %dB file — replay is materializing the trace", max, fi.Size())
+	}
+}
+
+func TestRunFromTraceRejectsShortTrace(t *testing.T) {
+	tr := memtrace.Record(tracegen.New(traceSpec(2)), 2, 10)
+	cfg := DefaultConfig(TwoBit, 4)
+	if _, err := RunFromTrace(cfg, tr, 10); err == nil {
+		t.Fatal("trace with fewer streams than processors accepted")
+	}
+}
+
+// liveSource adapts a scenario spec to TraceSource for the test above.
+type liveSource struct{ spec tracegen.Spec }
+
+func (s liveSource) Procs() int { return s.spec.Procs }
+
+func (s liveSource) Generator() workload.Generator { return tracegen.New(s.spec) }

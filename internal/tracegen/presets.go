@@ -1,0 +1,162 @@
+package tracegen
+
+import "fmt"
+
+// Presets returns the built-in scenarios, in a fixed order. Each is a
+// complete, valid Spec sized for smoke-scale runs; campaigns override
+// Procs/Seed (and sweep overrides SharedFrac/WriteHeavyWrite) per point.
+func Presets() []Spec {
+	return []Spec{
+		{
+			// The baseline serving shape: a big Zipf keyspace, mostly
+			// reads, a write-heavy tail of counters and sessions.
+			Name: "kv-serving", Procs: 8, Keys: 1 << 16, Skew: 1.0,
+			SharedFrac: 0.3, ReadMostlyFrac: 0.9, ReadMostlyWrite: 0.02,
+			WriteHeavyWrite: 0.5, PrivateBlocks: 256, PrivateWrite: 0.3,
+			Seed: 1,
+		},
+		{
+			// kv-serving under a daily load wave: the shared fraction
+			// swings ±60% around its base over each period.
+			Name: "diurnal", Procs: 8, Keys: 1 << 16, Skew: 1.0,
+			SharedFrac: 0.3, ReadMostlyFrac: 0.9, ReadMostlyWrite: 0.02,
+			WriteHeavyWrite: 0.5, DiurnalPeriod: 100000, DiurnalAmp: 0.6,
+			PrivateBlocks: 256, PrivateWrite: 0.3, Seed: 2,
+		},
+		{
+			// Periodic flash crowds: every 50k references per processor,
+			// 10k references of pile-on where 70% of shared traffic hits
+			// an 8-key episode hot set.
+			Name: "flash-crowd", Procs: 8, Keys: 1 << 16, Skew: 1.0,
+			SharedFrac: 0.3, ReadMostlyFrac: 0.9, ReadMostlyWrite: 0.02,
+			WriteHeavyWrite: 0.5, FlashEvery: 50000, FlashLen: 10000,
+			FlashKeys: 8, FlashFrac: 0.7, PrivateBlocks: 256,
+			PrivateWrite: 0.3, Seed: 3,
+		},
+		{
+			// Working-set churn: the rank-to-key mapping rotates by 1k
+			// keys every 20k references per processor, so caches chase a
+			// moving hot set.
+			Name: "churn", Procs: 8, Keys: 1 << 16, Skew: 1.0,
+			SharedFrac: 0.3, ReadMostlyFrac: 0.9, ReadMostlyWrite: 0.02,
+			WriteHeavyWrite: 0.5, ChurnEvery: 20000, ChurnStride: 1024,
+			PrivateBlocks: 256, PrivateWrite: 0.3, Seed: 4,
+		},
+		{
+			// False sharing: 5% of all traffic lands on 16 contended
+			// blocks, written half the time — the invalidation-storm
+			// pathology per-block directories cannot tell from sharing.
+			Name: "false-sharing", Procs: 8, Keys: 1 << 16, Skew: 1.0,
+			SharedFrac: 0.3, ReadMostlyFrac: 0.9, ReadMostlyWrite: 0.02,
+			WriteHeavyWrite: 0.5, FalseShareFrac: 0.05, FalseShareBlocks: 16,
+			FalseShareWrite: 0.5, PrivateBlocks: 256, PrivateWrite: 0.3,
+			Seed: 5,
+		},
+		{
+			// Write-heavy: most keys take frequent writes — the regime
+			// where invalidation vs update protocols disagree hardest.
+			Name: "write-heavy", Procs: 8, Keys: 1 << 14, Skew: 0.8,
+			SharedFrac: 0.4, ReadMostlyFrac: 0.2, ReadMostlyWrite: 0.05,
+			WriteHeavyWrite: 0.7, PrivateBlocks: 256, PrivateWrite: 0.4,
+			Seed: 6,
+		},
+	}
+}
+
+// Preset returns the built-in scenario with the given name.
+func Preset(name string) (Spec, error) {
+	for _, s := range Presets() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("tracegen: unknown scenario %q (have %s)", name, PresetNames())
+}
+
+// PresetNames returns the built-in scenario names, comma-separated.
+func PresetNames() string {
+	names := ""
+	for i, s := range Presets() {
+		if i > 0 {
+			names += ", "
+		}
+		names += s.Name
+	}
+	return names
+}
+
+// Resolve fills a partially-specified spec from its named preset: every
+// zero-valued field takes the preset's value, so a scenario reference
+// like {"name": "kv-serving", "procs": 16, "seed": 9} is a complete
+// spec. A name with no preset must already be complete (Validate
+// decides). Resolve does not validate.
+func Resolve(s Spec) Spec {
+	base, err := Preset(s.Name)
+	if err != nil {
+		return s
+	}
+	if s.Procs == 0 {
+		s.Procs = base.Procs
+	}
+	if s.Keys == 0 {
+		s.Keys = base.Keys
+	}
+	if s.Skew == 0 {
+		s.Skew = base.Skew
+	}
+	if s.SharedFrac == 0 {
+		s.SharedFrac = base.SharedFrac
+	}
+	if s.ReadMostlyFrac == 0 {
+		s.ReadMostlyFrac = base.ReadMostlyFrac
+	}
+	if s.ReadMostlyWrite == 0 {
+		s.ReadMostlyWrite = base.ReadMostlyWrite
+	}
+	if s.WriteHeavyWrite == 0 {
+		s.WriteHeavyWrite = base.WriteHeavyWrite
+	}
+	if s.DiurnalPeriod == 0 {
+		s.DiurnalPeriod = base.DiurnalPeriod
+	}
+	if s.DiurnalAmp == 0 {
+		s.DiurnalAmp = base.DiurnalAmp
+	}
+	if s.FlashEvery == 0 {
+		s.FlashEvery = base.FlashEvery
+	}
+	if s.FlashLen == 0 {
+		s.FlashLen = base.FlashLen
+	}
+	if s.FlashKeys == 0 {
+		s.FlashKeys = base.FlashKeys
+	}
+	if s.FlashFrac == 0 {
+		s.FlashFrac = base.FlashFrac
+	}
+	if s.ChurnEvery == 0 {
+		s.ChurnEvery = base.ChurnEvery
+	}
+	if s.ChurnStride == 0 {
+		s.ChurnStride = base.ChurnStride
+	}
+	if s.FalseShareFrac == 0 {
+		s.FalseShareFrac = base.FalseShareFrac
+	}
+	if s.FalseShareBlocks == 0 {
+		s.FalseShareBlocks = base.FalseShareBlocks
+	}
+	if s.FalseShareWrite == 0 {
+		s.FalseShareWrite = base.FalseShareWrite
+	}
+	if s.PrivateBlocks == 0 {
+		s.PrivateBlocks = base.PrivateBlocks
+	}
+	if s.PrivateWrite == 0 {
+		s.PrivateWrite = base.PrivateWrite
+	}
+	if s.Seed == 0 {
+		s.Seed = base.Seed
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+package tracegen
+
+import (
+	"math"
+	"sort"
+
+	"twobit/internal/addr"
+)
+
+// StreamStats accumulates online statistics over a reference stream in
+// O(K) memory, so a synthesis or inspection pass over a 100M-reference
+// trace can report its shape without holding it. Hot keys are tracked
+// with the Space-Saving sketch (Metwally et al.): K counters, each
+// overestimating its key's true count by at most its recorded error.
+// All updates are deterministic in stream order.
+type StreamStats struct {
+	perProc  []int64
+	writes   int64
+	shared   int64
+	maxBlock uint64
+	any      bool
+
+	entries []topEntry
+	slots   map[addr.Block]int // block → index into entries; never ranged over
+}
+
+type topEntry struct {
+	block addr.Block
+	count int64
+	err   int64 // overestimate bound inherited at eviction
+}
+
+// DefaultTopK is the hot-key sketch size used by the CLIs.
+const DefaultTopK = 64
+
+// NewStreamStats sizes the accumulator for procs streams and a top-k
+// hot-key sketch (k ≤ 0 selects DefaultTopK).
+func NewStreamStats(procs, k int) *StreamStats {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	return &StreamStats{
+		perProc: make([]int64, procs),
+		entries: make([]topEntry, 0, k),
+		slots:   make(map[addr.Block]int, k),
+	}
+}
+
+// EnsureProcs grows the per-processor counters to at least n streams,
+// for callers that discover the processor count as they scan.
+func (s *StreamStats) EnsureProcs(n int) {
+	for len(s.perProc) < n {
+		s.perProc = append(s.perProc, 0)
+	}
+}
+
+// Observe folds one reference into the statistics.
+func (s *StreamStats) Observe(proc int, r addr.Ref) {
+	s.perProc[proc]++
+	if r.Write {
+		s.writes++
+	}
+	if uint64(r.Block) > s.maxBlock || !s.any {
+		s.maxBlock = uint64(r.Block)
+		s.any = true
+	}
+	if !r.Shared {
+		return
+	}
+	s.shared++
+	if i, ok := s.slots[r.Block]; ok {
+		s.entries[i].count++
+		return
+	}
+	if len(s.entries) < cap(s.entries) {
+		s.slots[r.Block] = len(s.entries)
+		s.entries = append(s.entries, topEntry{block: r.Block, count: 1})
+		return
+	}
+	// Evict the minimum-count entry (ties broken by slot index, which is
+	// deterministic in stream order) and inherit its count as error.
+	min := 0
+	for i := 1; i < len(s.entries); i++ {
+		if s.entries[i].count < s.entries[min].count {
+			min = i
+		}
+	}
+	old := s.entries[min]
+	delete(s.slots, old.block)
+	s.slots[r.Block] = min
+	s.entries[min] = topEntry{block: r.Block, count: old.count + 1, err: old.count}
+}
+
+// Total returns the number of observed references.
+func (s *StreamStats) Total() int64 {
+	n := int64(0)
+	for _, c := range s.perProc {
+		n += c
+	}
+	return n
+}
+
+// PerProc returns reference counts per processor.
+func (s *StreamStats) PerProc() []int64 {
+	out := make([]int64, len(s.perProc))
+	copy(out, s.perProc)
+	return out
+}
+
+// WriteFrac returns the observed write fraction.
+func (s *StreamStats) WriteFrac() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.writes) / float64(t)
+	}
+	return 0
+}
+
+// SharedFrac returns the observed shared-reference fraction.
+func (s *StreamStats) SharedFrac() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.shared) / float64(t)
+	}
+	return 0
+}
+
+// Blocks returns the observed address-space size (max block + 1).
+func (s *StreamStats) Blocks() int {
+	if !s.any {
+		return 1
+	}
+	return int(s.maxBlock) + 1
+}
+
+// KeyCount is one hot key with its estimated reference count.
+type KeyCount struct {
+	Block addr.Block `json:"block"`
+	Count int64      `json:"count"`
+	Err   int64      `json:"err"` // the estimate overshoots by at most Err
+}
+
+// TopKeys returns the hot-key estimates, most-referenced first (block
+// id breaks ties, so the order is deterministic).
+func (s *StreamStats) TopKeys() []KeyCount {
+	out := make([]KeyCount, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, KeyCount{Block: e.block, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// ZipfSlope fits a log-log regression of estimated count against rank
+// over the hot-key sketch and returns the slope: a stream drawn from
+// Zipf(s) fits ≈ −s. With fewer than 3 tracked keys it returns 0.
+func (s *StreamStats) ZipfSlope() float64 {
+	top := s.TopKeys()
+	var n, sx, sy, sxx, sxy float64
+	for r, kc := range top {
+		if kc.Count <= 0 {
+			continue
+		}
+		x := math.Log(float64(r + 1))
+		y := math.Log(float64(kc.Count))
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	if n < 3 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

@@ -1,0 +1,292 @@
+// Package tracegen synthesizes serving-scale memory-reference scenarios:
+// deterministic production-traffic shapes — Zipf-skewed key popularity,
+// diurnal load waves, flash crowds, working-set churn, read-mostly vs
+// write-heavy key tiers, false sharing — declared as a Spec and realized
+// as a workload.Generator or streamed straight into the chunked trace
+// format. A (Spec, Seed) pair fully determines every reference, so a
+// 100M-reference scenario is a few hundred bytes of JSON, not a file.
+//
+// The paper's §4.2 model draws shared references uniformly over 16
+// blocks; four decades of follow-ups (directoryless LLC designs, hybrid
+// update/invalidate protocols) are judged on realistic sharing, which is
+// what these scenarios provide: protocol choice is workload-dependent,
+// so the tournament grid needs workloads worth disagreeing over.
+package tracegen
+
+import (
+	"fmt"
+	"math"
+
+	"twobit/internal/addr"
+	"twobit/internal/rng"
+	"twobit/internal/workload"
+)
+
+// Spec declares a scenario. The zero value of an optional feature
+// disables it; Validate rejects inconsistent combinations. Block layout:
+// keys occupy [0, Keys), the false-sharing pool [Keys, Keys+
+// FalseShareBlocks), then PrivateBlocks per processor.
+type Spec struct {
+	// Name identifies the scenario (a preset name resolves defaults).
+	Name string `json:"name"`
+	// Procs is the number of reference streams.
+	Procs int `json:"procs"`
+	// Keys is the shared keyspace size; key popularity is Zipf(Skew).
+	Keys int `json:"keys"`
+	// Skew is the Zipf exponent s ≥ 0 (0 = uniform popularity).
+	Skew float64 `json:"skew"`
+	// SharedFrac is the base probability that a reference hits the
+	// shared keyspace rather than the processor's private region.
+	SharedFrac float64 `json:"shared_frac"`
+
+	// ReadMostlyFrac is the fraction of keys in the read-mostly tier
+	// (cache-line-resident config, catalogs); the rest are write-heavy
+	// (counters, session state). Tier assignment is a hash of the key.
+	ReadMostlyFrac float64 `json:"read_mostly_frac"`
+	// ReadMostlyWrite is the write probability for read-mostly keys.
+	ReadMostlyWrite float64 `json:"read_mostly_write"`
+	// WriteHeavyWrite is the write probability for write-heavy keys.
+	WriteHeavyWrite float64 `json:"write_heavy_write"`
+
+	// DiurnalPeriod > 0 modulates SharedFrac with a triangle wave of
+	// that period (in references per processor): traffic mix swings
+	// between (1−DiurnalAmp) and (1+DiurnalAmp) times the base.
+	DiurnalPeriod int `json:"diurnal_period,omitempty"`
+	DiurnalAmp    float64 `json:"diurnal_amp,omitempty"`
+
+	// FlashEvery > 0 starts a flash-crowd episode every FlashEvery
+	// references per processor: for FlashLen references, a shared
+	// reference redirects with probability FlashFrac to one of
+	// FlashKeys episode-specific keys (everyone piles onto the same
+	// story). The hot set is a hash of the episode number, so every
+	// processor converges on the same keys without coordination.
+	FlashEvery int     `json:"flash_every,omitempty"`
+	FlashLen   int     `json:"flash_len,omitempty"`
+	FlashKeys  int     `json:"flash_keys,omitempty"`
+	FlashFrac  float64 `json:"flash_frac,omitempty"`
+
+	// ChurnEvery > 0 rotates the working set every ChurnEvery references
+	// per processor: the Zipf rank-to-key mapping shifts by ChurnStride
+	// keys, so yesterday's hot keys cool off and cold keys warm up.
+	ChurnEvery  int `json:"churn_every,omitempty"`
+	ChurnStride int `json:"churn_stride,omitempty"`
+
+	// FalseShareFrac sends that fraction of references to a small pool
+	// of FalseShareBlocks contended blocks written with probability
+	// FalseShareWrite — unrelated data sharing a block, the coherence
+	// pathology the paper's per-block directory cannot distinguish from
+	// true sharing.
+	FalseShareFrac   float64 `json:"false_share_frac,omitempty"`
+	FalseShareBlocks int     `json:"false_share_blocks,omitempty"`
+	FalseShareWrite  float64 `json:"false_share_write,omitempty"`
+
+	// PrivateBlocks is each processor's private region size; private
+	// references are uniform over it and write with PrivateWrite.
+	PrivateBlocks int     `json:"private_blocks"`
+	PrivateWrite  float64 `json:"private_write"`
+
+	// Seed determines every draw; same (Spec, Seed) ⇒ same trace.
+	Seed uint64 `json:"seed"`
+}
+
+// maxKeys bounds the keyspace so a hostile spec cannot demand an
+// absurd address space (the simulator sizes directories by block).
+const maxKeys = 1 << 30
+
+// Validate reports an error for unusable specs.
+func (s Spec) Validate() error {
+	if s.Procs < 1 || s.Procs > 1<<16 {
+		return fmt.Errorf("tracegen: procs = %d outside 1..%d", s.Procs, 1<<16)
+	}
+	if s.Keys < 1 || s.Keys > maxKeys {
+		return fmt.Errorf("tracegen: keys = %d outside 1..%d", s.Keys, maxKeys)
+	}
+	if s.Skew < 0 || math.IsNaN(s.Skew) || math.IsInf(s.Skew, 0) {
+		return fmt.Errorf("tracegen: skew = %v must be a finite value ≥ 0", s.Skew)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"shared_frac", s.SharedFrac},
+		{"read_mostly_frac", s.ReadMostlyFrac},
+		{"read_mostly_write", s.ReadMostlyWrite},
+		{"write_heavy_write", s.WriteHeavyWrite},
+		{"diurnal_amp", s.DiurnalAmp},
+		{"flash_frac", s.FlashFrac},
+		{"false_share_frac", s.FalseShareFrac},
+		{"false_share_write", s.FalseShareWrite},
+		{"private_write", s.PrivateWrite},
+	} {
+		if p.v < 0 || p.v > 1 || math.IsNaN(p.v) {
+			return fmt.Errorf("tracegen: %s = %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if s.PrivateBlocks < 1 {
+		return fmt.Errorf("tracegen: private_blocks = %d, need ≥ 1", s.PrivateBlocks)
+	}
+	if s.DiurnalPeriod < 0 || (s.DiurnalAmp > 0 && s.DiurnalPeriod == 0) {
+		return fmt.Errorf("tracegen: diurnal_amp = %v needs diurnal_period > 0", s.DiurnalAmp)
+	}
+	if s.FlashEvery > 0 {
+		if s.FlashLen < 1 || s.FlashLen > s.FlashEvery {
+			return fmt.Errorf("tracegen: flash_len = %d outside 1..flash_every (%d)", s.FlashLen, s.FlashEvery)
+		}
+		if s.FlashKeys < 1 || s.FlashKeys > s.Keys {
+			return fmt.Errorf("tracegen: flash_keys = %d outside 1..keys (%d)", s.FlashKeys, s.Keys)
+		}
+	} else if s.FlashEvery < 0 {
+		return fmt.Errorf("tracegen: flash_every = %d, need ≥ 0", s.FlashEvery)
+	}
+	if s.ChurnEvery < 0 || s.ChurnStride < 0 {
+		return fmt.Errorf("tracegen: churn_every/churn_stride must be ≥ 0")
+	}
+	if s.ChurnEvery > 0 && s.ChurnStride == 0 {
+		return fmt.Errorf("tracegen: churn_every = %d needs churn_stride > 0", s.ChurnEvery)
+	}
+	if s.FalseShareFrac > 0 && s.FalseShareBlocks < 1 {
+		return fmt.Errorf("tracegen: false_share_frac = %v needs false_share_blocks ≥ 1", s.FalseShareFrac)
+	}
+	if s.FalseShareBlocks < 0 {
+		return fmt.Errorf("tracegen: false_share_blocks = %d, need ≥ 0", s.FalseShareBlocks)
+	}
+	return nil
+}
+
+// At returns a copy of the spec specialized to one sweep point: procs,
+// the plan's q axis (shared fraction), w axis (write-heavy write
+// probability), and the point's hermetic seed.
+func (s Spec) At(procs int, q, w float64, seed uint64) Spec {
+	s.Procs = procs
+	s.SharedFrac = q
+	s.WriteHeavyWrite = w
+	s.Seed = seed
+	return s
+}
+
+// Blocks returns the scenario's address-space size.
+func (s Spec) Blocks() int {
+	return s.Keys + s.FalseShareBlocks + s.Procs*s.PrivateBlocks
+}
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed hash used
+// for stateless per-key decisions (tier assignment, flash hot sets) so
+// every processor agrees without shared state or precomputed tables.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashFloat maps a hash to [0,1).
+func hashFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Gen realizes a Spec as a workload.Generator. Each processor owns an
+// RNG stream and a position counter, so its reference sequence is a
+// pure function of (Spec, proc) — independent of interleaving, which is
+// what makes streaming synthesis, Record, and live generation agree.
+type Gen struct {
+	spec  Spec
+	ranks *workload.ZipfRanks
+	rngs  []*rng.PCG
+	pos   []int64
+}
+
+// New builds the generator; it panics on an invalid spec (mirroring the
+// workload package's constructors).
+func New(spec Spec) *Gen {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Gen{
+		spec:  spec,
+		ranks: workload.NewZipfRanks(spec.Keys, spec.Skew),
+		rngs:  make([]*rng.PCG, spec.Procs),
+		pos:   make([]int64, spec.Procs),
+	}
+	for p := range g.rngs {
+		g.rngs[p] = rng.New(spec.Seed, uint64(p)+0x5eed)
+	}
+	return g
+}
+
+// Blocks implements workload.Generator.
+func (g *Gen) Blocks() int { return g.spec.Blocks() }
+
+// diurnalFactor is the triangle-wave load modulation at position t:
+// piecewise linear between 1−amp and 1+amp over one period. A triangle
+// instead of a sine keeps the computation exact integer ratios —
+// bit-identical on every platform, unlike transcendental libm calls.
+func (g *Gen) diurnalFactor(t int64) float64 {
+	p := int64(g.spec.DiurnalPeriod)
+	if p <= 0 || g.spec.DiurnalAmp == 0 {
+		return 1
+	}
+	phase := t % p
+	half := p / 2
+	if half == 0 {
+		return 1
+	}
+	var tri float64 // −1 … +1
+	if phase < half {
+		tri = -1 + 2*float64(phase)/float64(half)
+	} else {
+		tri = 1 - 2*float64(phase-half)/float64(p-half)
+	}
+	return 1 + g.spec.DiurnalAmp*tri
+}
+
+// keyWrite returns the write probability for key, from its hashed tier.
+func (g *Gen) keyWrite(key int) float64 {
+	h := mix64(g.spec.Seed ^ 0x7153 ^ uint64(key))
+	if hashFloat(h) < g.spec.ReadMostlyFrac {
+		return g.spec.ReadMostlyWrite
+	}
+	return g.spec.WriteHeavyWrite
+}
+
+// flashKey returns the j-th key of episode e's hot set.
+func (g *Gen) flashKey(e int64, j int) int {
+	h := mix64(g.spec.Seed ^ 0xf1a5 ^ uint64(e)*0x9e3779b97f4a7c15 ^ uint64(j)<<40)
+	return int(h % uint64(g.spec.Keys))
+}
+
+// Next implements workload.Generator.
+func (g *Gen) Next(proc int) addr.Ref {
+	s := &g.spec
+	r := g.rngs[proc]
+	t := g.pos[proc]
+	g.pos[proc]++
+
+	// False sharing is orthogonal to the shared/private mix: a slice of
+	// all traffic lands on the contended pool.
+	if s.FalseShareFrac > 0 && r.Bool(s.FalseShareFrac) {
+		b := s.Keys + r.Intn(s.FalseShareBlocks)
+		return addr.Ref{Block: addr.Block(b), Write: r.Bool(s.FalseShareWrite), Shared: true}
+	}
+
+	eff := s.SharedFrac * g.diurnalFactor(t)
+	if eff > 1 {
+		eff = 1
+	}
+	if r.Bool(eff) {
+		var key int
+		if s.FlashEvery > 0 && t%int64(s.FlashEvery) < int64(s.FlashLen) && r.Bool(s.FlashFrac) {
+			key = g.flashKey(t/int64(s.FlashEvery), r.Intn(s.FlashKeys))
+		} else {
+			rank := g.ranks.Rank(r.Float64())
+			if s.ChurnEvery > 0 {
+				shift := (t / int64(s.ChurnEvery)) * int64(s.ChurnStride)
+				key = int((int64(rank) + shift) % int64(s.Keys))
+			} else {
+				key = rank
+			}
+		}
+		return addr.Ref{Block: addr.Block(key), Write: r.Bool(g.keyWrite(key)), Shared: true}
+	}
+
+	base := s.Keys + s.FalseShareBlocks + proc*s.PrivateBlocks
+	b := base + r.Intn(s.PrivateBlocks)
+	return addr.Ref{Block: addr.Block(b), Write: r.Bool(s.PrivateWrite)}
+}

@@ -1,0 +1,399 @@
+package tracegen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"twobit/internal/addr"
+	"twobit/internal/memtrace"
+)
+
+func smallSpec() Spec {
+	return Spec{
+		Name: "test", Procs: 4, Keys: 256, Skew: 1.0,
+		SharedFrac: 0.4, ReadMostlyFrac: 0.8, ReadMostlyWrite: 0.05,
+		WriteHeavyWrite: 0.6, PrivateBlocks: 32, PrivateWrite: 0.3, Seed: 7,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := smallSpec().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := func(mut func(*Spec)) Spec {
+		s := smallSpec()
+		mut(&s)
+		return s
+	}
+	cases := map[string]Spec{
+		"zero procs":        bad(func(s *Spec) { s.Procs = 0 }),
+		"zero keys":         bad(func(s *Spec) { s.Keys = 0 }),
+		"negative skew":     bad(func(s *Spec) { s.Skew = -1 }),
+		"frac above 1":      bad(func(s *Spec) { s.SharedFrac = 1.5 }),
+		"nan frac":          bad(func(s *Spec) { s.PrivateWrite = math.NaN() }),
+		"zero private":      bad(func(s *Spec) { s.PrivateBlocks = 0 }),
+		"amp sans period":   bad(func(s *Spec) { s.DiurnalAmp = 0.5 }),
+		"flash sans len":    bad(func(s *Spec) { s.FlashEvery = 100 }),
+		"flash keys > keys": bad(func(s *Spec) { s.FlashEvery = 100; s.FlashLen = 10; s.FlashKeys = 1 << 20 }),
+		"churn sans stride": bad(func(s *Spec) { s.ChurnEvery = 100 }),
+		"fs sans blocks":    bad(func(s *Spec) { s.FalseShareFrac = 0.1 }),
+	}
+	for name, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGenDeterminismAndBounds(t *testing.T) {
+	a, b := New(smallSpec()), New(smallSpec())
+	max := a.Blocks()
+	for i := 0; i < 20000; i++ {
+		p := i % 4
+		ra, rb := a.Next(p), b.Next(p)
+		if ra != rb {
+			t.Fatalf("same spec diverged at ref %d", i)
+		}
+		if int(ra.Block) >= max {
+			t.Fatalf("ref %v beyond Blocks() = %d", ra.Block, max)
+		}
+	}
+}
+
+func TestGenPerProcStreamsIndependentOfInterleaving(t *testing.T) {
+	// Drawing proc-major vs round-robin must give the same per-proc
+	// sequences — the property that makes Synthesize ≡ Record.
+	major, robin := New(smallSpec()), New(smallSpec())
+	const n = 500
+	got := make([][]addr.Ref, 4)
+	for p := 0; p < 4; p++ {
+		for i := 0; i < n; i++ {
+			got[p] = append(got[p], major.Next(p))
+		}
+	}
+	for i := 0; i < n; i++ {
+		for p := 0; p < 4; p++ {
+			if r := robin.Next(p); r != got[p][i] {
+				t.Fatalf("interleaving changed proc %d ref %d", p, i)
+			}
+		}
+	}
+}
+
+func TestGenSharedPrivateLayout(t *testing.T) {
+	s := smallSpec()
+	s.FalseShareFrac = 0.1
+	s.FalseShareBlocks = 8
+	s.FalseShareWrite = 0.5
+	g := New(s)
+	sawShared, sawFS, sawPrivate := false, false, false
+	for i := 0; i < 50000; i++ {
+		p := i % s.Procs
+		r := g.Next(p)
+		b := int(r.Block)
+		switch {
+		case b < s.Keys:
+			if !r.Shared {
+				t.Fatalf("key ref not marked shared: %+v", r)
+			}
+			sawShared = true
+		case b < s.Keys+s.FalseShareBlocks:
+			if !r.Shared {
+				t.Fatalf("false-share ref not marked shared: %+v", r)
+			}
+			sawFS = true
+		default:
+			if r.Shared {
+				t.Fatalf("private ref marked shared: %+v", r)
+			}
+			base := s.Keys + s.FalseShareBlocks + p*s.PrivateBlocks
+			if b < base || b >= base+s.PrivateBlocks {
+				t.Fatalf("proc %d private ref %d outside [%d,%d)", p, b, base, base+s.PrivateBlocks)
+			}
+			sawPrivate = true
+		}
+	}
+	if !sawShared || !sawFS || !sawPrivate {
+		t.Fatalf("regions unexercised: shared=%v fs=%v private=%v", sawShared, sawFS, sawPrivate)
+	}
+}
+
+func TestGenTiersSkewWriteFraction(t *testing.T) {
+	// A read-mostly-dominated spec must write far less often on shared
+	// keys than a write-heavy one.
+	writeFrac := func(readMostly float64) float64 {
+		s := smallSpec()
+		s.ReadMostlyFrac = readMostly
+		g := New(s)
+		writes, shared := 0, 0
+		for i := 0; i < 100000; i++ {
+			if r := g.Next(i % 4); r.Shared {
+				shared++
+				if r.Write {
+					writes++
+				}
+			}
+		}
+		return float64(writes) / float64(shared)
+	}
+	readMostly, writeHeavy := writeFrac(0.95), writeFrac(0.05)
+	if readMostly >= writeHeavy/2 {
+		t.Fatalf("tiering has no effect: read-mostly write frac %v vs write-heavy %v", readMostly, writeHeavy)
+	}
+}
+
+func TestDiurnalWaveModulatesSharing(t *testing.T) {
+	s := smallSpec()
+	s.DiurnalPeriod = 10000
+	s.DiurnalAmp = 0.8
+	// Sample the shared fraction in the trough half vs the peak half of
+	// one period (triangle: low near phase 0 and P, high near P/2).
+	window := func(lo, hi int64) float64 {
+		shared, total := 0, 0
+		for p := 0; p < s.Procs; p++ {
+			gg := New(s)
+			for i := int64(0); i < hi; i++ {
+				r := gg.Next(p)
+				if i >= lo {
+					total++
+					if int(r.Block) < s.Keys {
+						shared++
+					}
+				}
+			}
+		}
+		return float64(shared) / float64(total)
+	}
+	trough := window(0, 2000)
+	peak := window(4000, 6000)
+	if peak <= trough*1.5 {
+		t.Fatalf("diurnal wave flat: trough %v peak %v", trough, peak)
+	}
+}
+
+func TestFlashCrowdConcentrates(t *testing.T) {
+	s := smallSpec()
+	s.FlashEvery = 10000
+	s.FlashLen = 10000 // always in-flash: every shared ref may redirect
+	s.FlashKeys = 4
+	s.FlashFrac = 0.9
+	g := New(s)
+	counts := make(map[addr.Block]int)
+	shared := 0
+	for i := 0; i < 40000; i++ {
+		if r := g.Next(i % 4); r.Shared {
+			shared++
+			counts[r.Block]++
+		}
+	}
+	// The top-4 keys should absorb the bulk of shared traffic.
+	top := make([]int, 0, len(counts))
+	for _, c := range counts {
+		top = append(top, c)
+	}
+	sum4 := 0
+	for k := 0; k < 4; k++ {
+		best := -1
+		for i, c := range top {
+			if best < 0 || c > top[best] {
+				best = i
+			}
+		}
+		if best >= 0 {
+			sum4 += top[best]
+			top[best] = -1
+		}
+	}
+	if frac := float64(sum4) / float64(shared); frac < 0.6 {
+		t.Fatalf("flash hot set absorbs only %v of shared traffic", frac)
+	}
+}
+
+func TestChurnRotatesWorkingSet(t *testing.T) {
+	s := smallSpec()
+	s.ChurnEvery = 5000
+	s.ChurnStride = 64
+	g := New(s)
+	hot := func(upto int64) addr.Block {
+		counts := make(map[addr.Block]int)
+		for i := int64(0); i < upto; i++ {
+			if r := g.Next(0); r.Shared {
+				counts[r.Block]++
+			}
+		}
+		var best addr.Block
+		bestC := -1
+		for b, c := range counts {
+			if c > bestC || (c == bestC && b < best) {
+				best, bestC = b, c
+			}
+		}
+		return best
+	}
+	first := hot(5000)
+	second := hot(5000) // continues the same stream: epoch 1
+	if first == second {
+		t.Fatalf("working set did not rotate: hot key %v in both epochs", first)
+	}
+}
+
+func TestPresetsAllValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Presets() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate preset name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, want := range []string{"kv-serving", "diurnal", "flash-crowd", "churn", "false-sharing", "write-heavy"} {
+		if !seen[want] {
+			t.Errorf("missing preset %s", want)
+		}
+	}
+	if _, err := Preset("no-such"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestResolveOverlaysPreset(t *testing.T) {
+	s := Resolve(Spec{Name: "kv-serving", Procs: 16, Seed: 99})
+	if s.Procs != 16 || s.Seed != 99 {
+		t.Fatalf("overrides lost: %+v", s)
+	}
+	base, _ := Preset("kv-serving")
+	if s.Keys != base.Keys || s.Skew != base.Skew || s.SharedFrac != base.SharedFrac {
+		t.Fatalf("preset defaults not inherited: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown name: returned unchanged.
+	raw := smallSpec()
+	if got := Resolve(raw); got != raw {
+		t.Fatalf("unknown-name spec mutated: %+v", got)
+	}
+}
+
+func TestSynthesizeMatchesRecord(t *testing.T) {
+	// The streamed file must hold exactly what Record captures from the
+	// same spec — the equivalence the whole subsystem rests on.
+	spec := smallSpec()
+	const refs = 700
+	for _, chunkCap := range []int{32, 256, 8192} {
+		var buf bytes.Buffer
+		if err := Synthesize(&buf, spec, refs, chunkCap, nil); err != nil {
+			t.Fatalf("chunkCap=%d: %v", chunkCap, err)
+		}
+		got, err := memtrace.ReadChunked(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("chunkCap=%d: %v", chunkCap, err)
+		}
+		want := memtrace.Record(New(spec), spec.Procs, refs)
+		gw, ww := got.Generator(), want.Generator()
+		for i := 0; i < refs; i++ {
+			for p := 0; p < spec.Procs; p++ {
+				if a, b := gw.Next(p), ww.Next(p); a != b {
+					t.Fatalf("chunkCap=%d: synthesized trace diverged from Record at ref %d proc %d", chunkCap, i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeDeterministicBytes(t *testing.T) {
+	spec, _ := Preset("flash-crowd")
+	spec.Procs = 2
+	var a, b bytes.Buffer
+	if err := Synthesize(&a, spec, 300, 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Synthesize(&b, spec, 300, 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same spec synthesized different bytes")
+	}
+}
+
+func TestSynthesizeRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	bad := smallSpec()
+	bad.Keys = 0
+	if err := Synthesize(&buf, bad, 10, 0, nil); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if err := Synthesize(&buf, smallSpec(), 0, 0, nil); err == nil {
+		t.Error("zero refsPerProc accepted")
+	}
+}
+
+func TestStreamStats(t *testing.T) {
+	spec := smallSpec()
+	st := NewStreamStats(spec.Procs, 32)
+	var buf bytes.Buffer
+	const refs = 5000
+	if err := Synthesize(&buf, spec, refs, 256, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Total() != int64(refs*spec.Procs) {
+		t.Fatalf("Total = %d, want %d", st.Total(), refs*spec.Procs)
+	}
+	for p, c := range st.PerProc() {
+		if c != refs {
+			t.Fatalf("proc %d count %d, want %d", p, c, refs)
+		}
+	}
+	// Observed shared fraction tracks the configured one.
+	if got := st.SharedFrac(); math.Abs(got-spec.SharedFrac) > 0.05 {
+		t.Fatalf("SharedFrac = %v, want ≈ %v", got, spec.SharedFrac)
+	}
+	if st.WriteFrac() <= 0 || st.WriteFrac() >= 1 {
+		t.Fatalf("WriteFrac = %v", st.WriteFrac())
+	}
+	// Blocks must agree with the trace's own notion.
+	tr, err := memtrace.ReadChunked(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks() != tr.Generator().Blocks() {
+		t.Fatalf("stats Blocks %d vs trace %d", st.Blocks(), tr.Generator().Blocks())
+	}
+	top := st.TopKeys()
+	if len(top) == 0 {
+		t.Fatal("no hot keys tracked")
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("TopKeys not sorted by count")
+		}
+	}
+	// Rank 0 under Zipf(1.0) must dominate: sanity, not a tight bound.
+	if top[0].Block != 0 {
+		t.Logf("note: hottest tracked key is %v (rank 0 expected for skew 1)", top[0].Block)
+	}
+	if slope := st.ZipfSlope(); slope >= -0.3 {
+		t.Fatalf("ZipfSlope = %v, want clearly negative for skew 1.0", slope)
+	}
+}
+
+func TestStreamStatsTopKeysExactWhenSmall(t *testing.T) {
+	st := NewStreamStats(1, 8)
+	for i := 0; i < 30; i++ {
+		st.Observe(0, addr.Ref{Block: 1, Shared: true})
+	}
+	for i := 0; i < 10; i++ {
+		st.Observe(0, addr.Ref{Block: 2, Shared: true})
+	}
+	st.Observe(0, addr.Ref{Block: 9}) // private: not tracked
+	top := st.TopKeys()
+	if len(top) != 2 || top[0].Block != 1 || top[0].Count != 30 || top[1].Block != 2 || top[1].Count != 10 {
+		t.Fatalf("TopKeys = %+v", top)
+	}
+	if top[0].Err != 0 || top[1].Err != 0 {
+		t.Fatalf("exact counts must carry zero error: %+v", top)
+	}
+}

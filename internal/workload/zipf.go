@@ -45,11 +45,69 @@ func (c ZipfSharedConfig) Validate() error {
 	return nil
 }
 
+// ZipfRanks samples ranks 0..n-1 with P(rank r) ∝ 1/(r+1)^s via an
+// inverse-CDF table: rank 0 is the most popular. s = 0 degenerates to
+// uniform. The sampler is a pure function of (n, s) — no generator state
+// — so one table can serve any number of independent reference streams
+// (ZipfShared here, the serving-scenario synthesizer in
+// internal/tracegen).
+type ZipfRanks struct {
+	cdf []float64
+}
+
+// NewZipfRanks builds the sampler. It panics if n < 1 or s is not a
+// finite value ≥ 0.
+func NewZipfRanks(n int, s float64) *ZipfRanks {
+	if n < 1 {
+		panic("workload: ZipfRanks needs n ≥ 1")
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		panic("workload: ZipfRanks needs a finite skew ≥ 0")
+	}
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	z := &ZipfRanks{cdf: make([]float64, n)}
+	cum := 0.0
+	for i, w := range weights {
+		cum += w / total
+		z.cdf[i] = cum
+	}
+	z.cdf[n-1] = 1 // guard against rounding
+	return z
+}
+
+// N returns the number of ranks.
+func (z *ZipfRanks) N() int { return len(z.cdf) }
+
+// Rank maps a uniform u ∈ [0,1) to a rank.
+func (z *ZipfRanks) Rank(u float64) int {
+	r := sort.SearchFloat64s(z.cdf, u)
+	if r >= len(z.cdf) {
+		r = len(z.cdf) - 1
+	}
+	return r
+}
+
+// P returns the probability of rank r (0 outside [0, N)).
+func (z *ZipfRanks) P(r int) float64 {
+	if r < 0 || r >= len(z.cdf) {
+		return 0
+	}
+	if r == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[r] - z.cdf[r-1]
+}
+
 // ZipfShared is the skewed-sharing generator.
 type ZipfShared struct {
-	cfg  ZipfSharedConfig
-	cdf  []float64 // cumulative Zipf distribution over the shared pool
-	rngs []*rng.PCG
+	cfg   ZipfSharedConfig
+	ranks *ZipfRanks
+	rngs  []*rng.PCG
 }
 
 // NewZipfShared constructs the generator; it panics on invalid config.
@@ -61,19 +119,7 @@ func NewZipfShared(cfg ZipfSharedConfig) *ZipfShared {
 	for p := range g.rngs {
 		g.rngs[p] = rng.New(cfg.Seed, uint64(p)+300)
 	}
-	weights := make([]float64, cfg.SharedBlocks)
-	total := 0.0
-	for i := range weights {
-		weights[i] = 1 / math.Pow(float64(i+1), cfg.Skew)
-		total += weights[i]
-	}
-	g.cdf = make([]float64, cfg.SharedBlocks)
-	cum := 0.0
-	for i, w := range weights {
-		cum += w / total
-		g.cdf[i] = cum
-	}
-	g.cdf[len(g.cdf)-1] = 1 // guard against rounding
+	g.ranks = NewZipfRanks(cfg.SharedBlocks, cfg.Skew)
 	return g
 }
 
@@ -86,11 +132,7 @@ func (g *ZipfShared) Blocks() int {
 func (g *ZipfShared) Next(proc int) addr.Ref {
 	r := g.rngs[proc]
 	if r.Bool(g.cfg.Q) {
-		u := r.Float64()
-		b := sort.SearchFloat64s(g.cdf, u)
-		if b >= g.cfg.SharedBlocks {
-			b = g.cfg.SharedBlocks - 1
-		}
+		b := g.ranks.Rank(r.Float64())
 		return addr.Ref{Block: addr.Block(b), Write: r.Bool(g.cfg.W), Shared: true}
 	}
 	base := g.cfg.SharedBlocks + proc*(g.cfg.HotBlocks+g.cfg.ColdBlocks)

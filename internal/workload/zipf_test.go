@@ -2,7 +2,10 @@ package workload
 
 import (
 	"math"
+	"sort"
 	"testing"
+
+	"twobit/internal/rng"
 )
 
 func zipfCfg(skew float64) ZipfSharedConfig {
@@ -81,6 +84,107 @@ func TestZipfDeterminism(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		if a.Next(i%4) != b.Next(i%4) {
 			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// fitLogLogSlope regresses ln(count) on ln(rank+1) over the given counts
+// (rank 0 first) and returns the least-squares slope. A perfect Zipf(s)
+// sample fits slope -s.
+func fitLogLogSlope(counts []uint64) float64 {
+	var n float64
+	var sx, sy, sxx, sxy float64
+	for r, c := range counts {
+		if c == 0 {
+			continue
+		}
+		x := math.Log(float64(r + 1))
+		y := math.Log(float64(c))
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// TestZipfRanksSlope checks the statistical contract of the sampler: the
+// observed rank-frequency curve of a large sample has log-log slope ≈ -s
+// for every configured skew, across seeds.
+func TestZipfRanksSlope(t *testing.T) {
+	const ranks, draws, fitTop = 1024, 200000, 64
+	for _, s := range []float64{0.6, 1.0, 1.4} {
+		z := NewZipfRanks(ranks, s)
+		for _, seed := range []uint64{1, 2, 3} {
+			r := rng.New(seed, 99)
+			counts := make([]uint64, ranks)
+			for i := 0; i < draws; i++ {
+				counts[z.Rank(r.Float64())]++
+			}
+			// The head ranks carry enough samples for a stable fit; the
+			// deep tail is sampling noise.
+			slope := fitLogLogSlope(counts[:fitTop])
+			if math.Abs(slope+s) > 0.12 {
+				t.Errorf("skew=%.1f seed=%d: fitted slope %.3f, want ≈ %.3f", s, seed, slope, -s)
+			}
+		}
+	}
+}
+
+// TestZipfRanksDistribution pins the analytic side: P sums to 1 and
+// matches the CDF's increments, and Rank inverts the CDF at bucket
+// boundaries.
+func TestZipfRanksDistribution(t *testing.T) {
+	z := NewZipfRanks(64, 1.2)
+	sum := 0.0
+	for r := 0; r < z.N(); r++ {
+		p := z.P(r)
+		if p <= 0 {
+			t.Fatalf("P(%d) = %v not positive", r, p)
+		}
+		if r > 0 && z.P(r) > z.P(r-1)+1e-12 {
+			t.Fatalf("P not non-increasing at rank %d", r)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ΣP = %v, want 1", sum)
+	}
+	if z.P(-1) != 0 || z.P(z.N()) != 0 {
+		t.Fatal("P outside [0,N) must be 0")
+	}
+	if z.Rank(0) != 0 {
+		t.Fatalf("Rank(0) = %d, want 0", z.Rank(0))
+	}
+	if got := z.Rank(math.Nextafter(1, 0)); got != z.N()-1 {
+		t.Fatalf("Rank(1-ε) = %d, want %d", got, z.N()-1)
+	}
+}
+
+// TestZipfSharedSlope runs the same rank-frequency check through the
+// full ZipfShared generator's shared stream, so the slope property holds
+// where the simulator consumes it, not just in the sampler.
+func TestZipfSharedSlope(t *testing.T) {
+	for _, s := range []float64{0.8, 1.2} {
+		for _, seed := range []uint64{5, 17} {
+			cfg := zipfCfg(s)
+			cfg.SharedBlocks = 256
+			cfg.Seed = seed
+			g := NewZipfShared(cfg)
+			counts := make([]uint64, cfg.SharedBlocks)
+			for i := 0; i < 400000; i++ {
+				if r := g.Next(i % cfg.Procs); r.Shared {
+					counts[int(r.Block)]++
+				}
+			}
+			// The generator maps rank i to block i, so block order is rank
+			// order; sort defensively anyway to fit pure rank-frequency.
+			sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+			slope := fitLogLogSlope(counts[:32])
+			if math.Abs(slope+s) > 0.15 {
+				t.Errorf("skew=%.1f seed=%d: shared-stream slope %.3f, want ≈ %.3f", s, seed, slope, -s)
+			}
 		}
 	}
 }

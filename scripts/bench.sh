@@ -195,6 +195,45 @@ END {
 echo "==> wrote $MCHECK_OUT"
 cat "$MCHECK_OUT"
 
+# Trace-subsystem baseline: scenario-synthesis, chunked-decode and
+# machine-replay throughput in references per second, with the streamed
+# replay measured against the in-memory replay it must keep up with.
+TRACE_OUT=BENCH_trace.json
+TRACE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW" "$MCHECK_RAW" "$TRACE_RAW"; rm -rf "$PREV"' EXIT
+
+echo "==> go test -bench BenchmarkTrace(Synthesize|Decode|Replay)"
+go test -run '^$' -bench '^BenchmarkTrace(Synthesize|Decode|Replay)$' -benchtime 10x . | tee "$TRACE_RAW"
+
+awk -v commit="$COMMIT" -v date="$DATE" '
+/^BenchmarkTraceSynthesize/ {
+    for (i = 2; i <= NF; i++) if ($i == "refs/s") synth = $(i - 1)
+}
+/^BenchmarkTraceDecode/ {
+    for (i = 2; i <= NF; i++) if ($i == "refs/s") decode = $(i - 1)
+}
+/^BenchmarkTraceReplay\/src=/ {
+    split($1, parts, "=")
+    split(parts[2], w, "-")
+    for (i = 2; i <= NF; i++) if ($i == "refs/s") replay[w[1]] = $(i - 1)
+}
+END {
+    if (synth == "" || decode == "" || replay["memory"] == "" || replay["stream"] == "") {
+        print "bench.sh: trace benchmarks did not all report refs/s" > "/dev/stderr"; exit 1
+    }
+    printf "{\n  \"benchmark\": \"BenchmarkTrace\",\n"
+    printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+    printf "  \"trace\": {\n"
+    printf "    \"synth_refs_per_second\": %s,\n", synth
+    printf "    \"decode_refs_per_second\": %s,\n", decode
+    printf "    \"replay_memory_refs_per_second\": %s,\n", replay["memory"]
+    printf "    \"replay_stream_refs_per_second\": %s\n", replay["stream"]
+    printf "  }\n}\n"
+}' "$TRACE_RAW" > "$TRACE_OUT"
+
+echo "==> wrote $TRACE_OUT"
+cat "$TRACE_OUT"
+
 # Regression gate: judge every fresh baseline against its committed
 # predecessor. A >10% throughput loss or any allocs/op increase fails
 # here, before the new numbers can be committed as the baseline.

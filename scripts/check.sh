@@ -122,7 +122,7 @@ cmp "$SMOKE/trace1.json" "$SMOKE/trace2.json" || {
 echo "==> benchdiff gate self-check"
 # The regression gate must pass a baseline against itself and must fail
 # on a constructed regression — otherwise bench.sh's gate is decorative.
-for f in BENCH_sweep.json BENCH_kernel.json BENCH_obs.json BENCH_spans.json; do
+for f in BENCH_sweep.json BENCH_kernel.json BENCH_obs.json BENCH_spans.json BENCH_trace.json; do
     [ -f "$f" ] || { echo "check.sh: committed baseline $f missing" >&2; exit 1; }
     go run ./cmd/benchdiff -baseline "$f" -fresh "$f" > /dev/null || {
         echo "check.sh: benchdiff failed $f against itself" >&2
@@ -147,6 +147,26 @@ if go run ./cmd/benchdiff -baseline "$SMOKE/bd_base.json" -fresh "$SMOKE/bd_allo
     exit 1
 fi
 
+echo "==> trace smoke (synthesize → replay determinism)"
+# Same seed + scenario must produce the same simulation whether the
+# trace streams from disk at any chunk size or is generated live: the
+# streamed runs at two chunk sizes and the live-generator run must all
+# print byte-identical results.
+go run ./cmd/tracegen synth -scenario kv-serving -procs 4 -refs 2000 -chunk 4096 -o "$SMOKE/big.mtrc2" -quiet
+go run ./cmd/tracegen synth -scenario kv-serving -procs 4 -refs 2000 -chunk 64 -o "$SMOKE/small.mtrc2" -quiet
+go run ./cmd/coherencesim -trace "$SMOKE/big.mtrc2" -refs 2000 -json > "$SMOKE/run_big.json"
+go run ./cmd/coherencesim -trace "$SMOKE/small.mtrc2" -refs 2000 -json > "$SMOKE/run_small.json"
+cmp "$SMOKE/run_big.json" "$SMOKE/run_small.json" || {
+    echo "check.sh: streamed replay differs across chunk sizes" >&2
+    exit 1
+}
+go run ./cmd/tracegen convert "$SMOKE/big.mtrc2" "$SMOKE/big.txt" -format text
+go run ./cmd/coherencesim -trace "$SMOKE/big.txt" -refs 2000 -json > "$SMOKE/run_text.json"
+cmp "$SMOKE/run_big.json" "$SMOKE/run_text.json" || {
+    echo "check.sh: streamed replay differs from materialized replay" >&2
+    exit 1
+}
+
 echo "==> mcheck: full 2-cache closures (both protocols)"
 go run ./cmd/mcheck -caches=2 -blocks=2 -refs=2
 go run ./cmd/mcheck -protocol=full-map -caches=2 -blocks=2 -refs=2
@@ -165,5 +185,8 @@ go test -run '^$' -fuzz '^FuzzStorePrefix$' -fuzztime 30s ./internal/sweep
 
 echo "==> fuzz: mcheck trace codec (30s)"
 go test -run '^$' -fuzz '^FuzzTraceCodec$' -fuzztime 30s ./internal/mcheck
+
+echo "==> fuzz: chunked trace codec (30s)"
+go test -run '^$' -fuzz '^FuzzChunkedCodec$' -fuzztime 30s ./internal/memtrace
 
 echo "OK"

@@ -46,6 +46,7 @@ import (
 	"twobit/internal/model"
 	"twobit/internal/report"
 	"twobit/internal/system"
+	"twobit/internal/tracegen"
 	"twobit/internal/workload"
 )
 
@@ -179,6 +180,55 @@ func ReadTraceText(r io.Reader) (*Trace, error) { return memtrace.ReadText(r) }
 
 // ReadTraceBinary parses the compact binary trace format.
 func ReadTraceBinary(r io.Reader) (*Trace, error) { return memtrace.ReadBinary(r) }
+
+// TraceSource is any replayable trace: the in-memory Trace or the
+// streaming chunked-file reader, as returned by OpenTraceFile.
+type TraceSource = memtrace.Source
+
+// StreamReader replays a chunked trace file without materializing it:
+// references decode one chunk per processor at a time, so trace length
+// is bounded by disk, not RAM.
+type StreamReader = memtrace.StreamReader
+
+// OpenTraceFile opens a trace file of any supported format (text,
+// varint binary, or chunked), sniffing the magic. Chunked traces are
+// streamed (mmap-backed on Linux); the other formats load in memory.
+// Close the source with CloseTraceSource when done.
+func OpenTraceFile(path string) (TraceSource, error) { return memtrace.OpenFile(path) }
+
+// CloseTraceSource releases any file or mapping behind src.
+func CloseTraceSource(src TraceSource) error { return memtrace.CloseSource(src) }
+
+// RunFromTrace builds a machine for cfg and replays refsPerProc
+// references per processor from the trace source. The same source and
+// configuration yield byte-identical Results whether the trace lives in
+// memory or streams from disk.
+func RunFromTrace(cfg Config, src TraceSource, refsPerProc int) (Results, error) {
+	return system.RunFromTrace(cfg, src, refsPerProc)
+}
+
+// ScenarioSpec declares a serving-traffic scenario for trace synthesis:
+// Zipf key popularity, read-mostly/write-heavy tiers, diurnal waves,
+// flash crowds, working-set churn and false sharing, all deterministic
+// from the spec and its seed (see internal/tracegen).
+type ScenarioSpec = tracegen.Spec
+
+// ScenarioPresets returns the built-in named scenarios.
+func ScenarioPresets() []ScenarioSpec { return tracegen.Presets() }
+
+// ResolveScenario fills a partial spec from the preset its Name points
+// at; zero-valued fields inherit the preset's values.
+func ResolveScenario(s ScenarioSpec) ScenarioSpec { return tracegen.Resolve(s) }
+
+// NewScenarioWorkload realizes a scenario spec as a live generator.
+func NewScenarioWorkload(spec ScenarioSpec) Generator { return tracegen.New(spec) }
+
+// SynthesizeTrace streams refsPerProc references per processor of the
+// scenario into the chunked trace format on w — the trace never exists
+// in memory. chunkCap ≤ 0 selects the default chunk capacity.
+func SynthesizeTrace(w io.Writer, spec ScenarioSpec, refsPerProc, chunkCap int) error {
+	return tracegen.Synthesize(w, spec, refsPerProc, chunkCap, nil)
+}
 
 // MCScenario describes a bounded model-checking scenario: fixed
 // per-processor scripts explored under every possible network delivery
