@@ -10,8 +10,9 @@
 //   - allocs_per_op: zero tolerance — any increase is a regression. The
 //     hot paths promise 0 allocs/op, and "one small allocation" per event
 //     is exactly the kind of tax that compounds invisibly.
-//   - *_per_second, and the workers.* grid of BENCH_sweep.json: higher is
-//     better; a drop of more than -max-regress (default 10%) fails.
+//   - *_per_second, and the workers.* / efficiency.* grids of
+//     BENCH_sweep.json: higher is better; a drop of more than
+//     -max-regress (default 10%) fails.
 //   - ns_per_op: lower is better; a rise of more than -max-regress fails.
 //   - everything else (commit stamps, dates): informational, never fails.
 //
@@ -126,6 +127,8 @@ func classify(path string) metricKind {
 	case strings.HasSuffix(leaf, "_per_second"):
 		return higherBetter
 	case strings.HasPrefix(path, "workers."): // BENCH_sweep.json: runs/s by worker count
+		return higherBetter
+	case strings.HasPrefix(path, "efficiency."): // BENCH_sweep.json: parallel efficiency by worker count
 		return higherBetter
 	case leaf == "ns_per_op":
 		return lowerBetter

@@ -35,11 +35,17 @@ func (r Record) Decode() (system.Results, error) {
 	return system.DecodeResults(r.Results)
 }
 
-// runPoint executes one hermetic simulation. A run that fails (deadlock,
-// coherence violation, invariant violation) produces a record with Err
-// set rather than aborting the campaign: the failure is itself a
-// deterministic, reportable result.
-func runPoint(p *Plan, pt Point) Record {
+// testRunStall, when non-nil, is called by a worker just before it runs
+// a point — a test hook for provoking worker skew (a stalled low run id
+// with fast successors) against the re-sequencer's backpressure bound.
+// Always nil outside tests.
+var testRunStall func(Point)
+
+// runPoint executes one hermetic simulation on rn's pooled state. A run
+// that fails (deadlock, coherence violation, invariant violation)
+// produces a record with Err set rather than aborting the campaign: the
+// failure is itself a deterministic, reportable result.
+func runPoint(p *Plan, pt Point, rn *system.Runner) Record {
 	rec := Record{
 		RunID:     pt.RunID,
 		Protocol:  pt.Protocol.String(),
@@ -59,23 +65,54 @@ func runPoint(p *Plan, pt Point) Record {
 			cfg.Obs.EnableSpans(0) // matrix only: no per-span retention
 		}
 	}
-	m, err := system.New(cfg, gen)
+	res, err := rn.Run(cfg, gen, p.RefsPerProc)
 	if err != nil {
 		rec.Err = err.Error()
 		return rec
 	}
-	res, err := m.Run(p.RefsPerProc)
-	if err != nil {
-		rec.Err = err.Error()
-		return rec
-	}
-	enc, err := res.EncodeStable()
+	enc, err := rn.EncodeStable(res)
 	if err != nil {
 		rec.Err = err.Error()
 		return rec
 	}
 	rec.Results = enc
 	return rec
+}
+
+// divergence names the first coordinate on which rec differs from pt,
+// or "" when the record matches the point.
+func divergence(rec Record, pt Point) string {
+	switch {
+	case rec.Seed != pt.Seed:
+		return "seed"
+	case rec.Protocol != pt.Protocol.String():
+		return "protocol"
+	case rec.Net != pt.Net.String():
+		return "net"
+	case rec.Scenario != pt.Scenario:
+		return "scenario"
+	case rec.Q != pt.Q:
+		return "q"
+	case rec.W != pt.W:
+		return "w"
+	case rec.Procs != pt.Procs:
+		return "procs"
+	case rec.Replicate != pt.Replicate:
+		return "replicate"
+	}
+	return ""
+}
+
+// matchRecord verifies one stored record against the plan point its run
+// id expands to, naming the diverging coordinate in the error.
+func matchRecord(rec Record, pt Point) error {
+	field := divergence(rec, pt)
+	if field == "" {
+		return nil
+	}
+	return fmt.Errorf("sweep: store record %d (%s/%s scen=%q q=%g w=%g n=%d rep=%d seed=%d) was produced by a different plan (%s diverges): run %d expands to %s/%s scen=%q q=%g w=%g n=%d rep=%d seed=%d",
+		rec.RunID, rec.Protocol, rec.Net, rec.Scenario, rec.Q, rec.W, rec.Procs, rec.Replicate, rec.Seed,
+		field, pt.RunID, pt.Protocol, pt.Net, pt.Scenario, pt.Q, pt.W, pt.Procs, pt.Replicate, pt.Seed)
 }
 
 // CheckPrefix verifies that a store's checkpointed records are a prefix
@@ -91,13 +128,32 @@ func CheckPrefix(p *Plan, recs []Record) error {
 		return fmt.Errorf("sweep: store holds %d runs but the plan expands to %d", len(recs), len(points))
 	}
 	for i, rec := range recs {
-		pt := points[i]
-		if rec.Seed != pt.Seed || rec.Protocol != pt.Protocol.String() || rec.Net != pt.Net.String() ||
-			rec.Q != pt.Q || rec.W != pt.W || rec.Procs != pt.Procs || rec.Replicate != pt.Replicate ||
-			rec.Scenario != pt.Scenario {
-			return fmt.Errorf("sweep: store record %d (%s/%s scen=%q q=%g w=%g n=%d rep=%d seed=%d) was produced by a different plan: run %d expands to %s/%s scen=%q q=%g w=%g n=%d rep=%d seed=%d",
-				i, rec.Protocol, rec.Net, rec.Scenario, rec.Q, rec.W, rec.Procs, rec.Replicate, rec.Seed,
-				i, pt.Protocol, pt.Net, pt.Scenario, pt.Q, pt.W, pt.Procs, pt.Replicate, pt.Seed)
+		if rec.RunID != i {
+			return fmt.Errorf("sweep: store record %d is out of sequence (run id %d)", i, rec.RunID)
+		}
+		if err := matchRecord(rec, points[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckSubset is CheckPrefix for shard stores: it verifies records
+// holding any subset of the plan's run ids — each record must match the
+// point its id expands to. The contiguity requirement is dropped
+// because a sharded campaign legally holds gaps (other shards' runs,
+// and runs lost to a mid-campaign kill).
+func CheckSubset(p *Plan, recs []Record) error {
+	points, err := p.Points()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if rec.RunID < 0 || rec.RunID >= len(points) {
+			return fmt.Errorf("sweep: store record with run id %d outside plan of %d runs", rec.RunID, len(points))
+		}
+		if err := matchRecord(rec, points[rec.RunID]); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -112,6 +168,13 @@ func CheckPrefix(p *Plan, recs []Record) error {
 func Execute(p *Plan, workers, startAt int, emit func(Record) error) error {
 	return ExecuteObserved(p, workers, startAt, emit, nil)
 }
+
+// resequenceLimit bounds the records the re-sequencer may hold: jobs in
+// flight plus completed-but-unemitted records never exceed it, so a
+// stalled low run id cannot let faster workers accumulate output without
+// limit. Twice the pool keeps every worker busy while the oldest run
+// drags; the +2 keeps a 1-worker pool pipelined.
+func resequenceLimit(workers int) int { return 2*workers + 2 }
 
 // ExecuteObserved is Execute with a telemetry publisher: prog (which may
 // be nil for none) sees every run start, completion and ordered
@@ -143,15 +206,23 @@ func ExecuteObserved(p *Plan, workers, startAt int, emit func(Record) error, pro
 	jobs := make(chan Point)
 	results := make(chan Record, workers)
 	stop := make(chan struct{}) // closed on emit error: stop feeding new runs
+	// Backpressure tokens: the feeder takes one per job, the
+	// re-sequencer returns one per record it sequences out, so at most
+	// resequenceLimit runs are past the feeder but short of the store.
+	tokens := make(chan struct{}, resequenceLimit(workers))
 	prog.begin(workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			rn := system.NewRunner()
 			for pt := range jobs {
 				prog.noteRunStart(w)
-				rec := runPoint(p, pt)
+				if testRunStall != nil {
+					testRunStall(pt)
+				}
+				rec := runPoint(p, pt, rn)
 				prog.noteRunDone(w, rec.Err != "")
 				results <- rec
 			}
@@ -160,6 +231,11 @@ func ExecuteObserved(p *Plan, workers, startAt int, emit func(Record) error, pro
 	go func() {
 		defer close(jobs)
 		for _, pt := range points {
+			select {
+			case tokens <- struct{}{}:
+			case <-stop:
+				return
+			}
 			select {
 			case jobs <- pt:
 			case <-stop:
@@ -174,7 +250,7 @@ func ExecuteObserved(p *Plan, workers, startAt int, emit func(Record) error, pro
 
 	// Re-sequencer: workers finish out of order; hold records until the
 	// next expected id arrives, then emit the contiguous run.
-	pending := make(map[int]Record, workers)
+	pending := make(map[int]Record, resequenceLimit(workers))
 	next := startAt
 	var emitErr error
 	for rec := range results {
@@ -185,6 +261,7 @@ func ExecuteObserved(p *Plan, workers, startAt int, emit func(Record) error, pro
 				break
 			}
 			delete(pending, next)
+			<-tokens
 			if emitErr == nil {
 				if emitErr = emit(r); emitErr != nil {
 					close(stop)
@@ -202,6 +279,93 @@ func ExecuteObserved(p *Plan, workers, startAt int, emit func(Record) error, pro
 		return fmt.Errorf("sweep: %d records never sequenced (first gap at run %d)", len(pending), next)
 	}
 	return nil
+}
+
+// ExecuteSharded runs the plan's points for which want returns true
+// (nil means all) on a pool of workers, each worker persisting its own
+// completed records through sink(worker, rec) from the worker's
+// goroutine — there is no re-sequencer and no cross-worker ordering, so
+// the emit path cannot serialize the pool. Each worker's records arrive
+// at its sink in strictly increasing run-id order (jobs are fed in
+// order), which is what makes per-worker shard files mergeable by a
+// streaming k-way merge. A sink error aborts the campaign after
+// in-flight runs drain.
+func ExecuteSharded(p *Plan, workers int, want func(runID int) bool, sink func(worker int, rec Record) error) error {
+	return ExecuteShardedObserved(p, workers, want, sink, nil)
+}
+
+// ExecuteShardedObserved is ExecuteSharded with a telemetry publisher.
+func ExecuteShardedObserved(p *Plan, workers int, want func(runID int) bool, sink func(worker int, rec Record) error, prog *Progress) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	all, err := p.Points()
+	if err != nil {
+		return err
+	}
+	points := all
+	if want != nil {
+		points = make([]Point, 0, len(all))
+		for _, pt := range all {
+			if want(pt.RunID) {
+				points = append(points, pt)
+			}
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if len(points) == 0 {
+		return nil
+	}
+
+	jobs := make(chan Point)
+	stop := make(chan struct{})
+	var once sync.Once
+	var sinkErr error
+	abort := func(err error) {
+		once.Do(func() {
+			sinkErr = err
+			close(stop)
+		})
+	}
+	prog.begin(workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rn := system.NewRunner()
+			for pt := range jobs {
+				prog.noteRunStart(w)
+				if testRunStall != nil {
+					testRunStall(pt)
+				}
+				rec := runPoint(p, pt, rn)
+				prog.noteRunDone(w, rec.Err != "")
+				if err := sink(w, rec); err != nil {
+					abort(err)
+					return
+				}
+				prog.noteEmitted()
+			}
+		}(i)
+	}
+	go func() {
+		defer close(jobs)
+		for _, pt := range points {
+			select {
+			case jobs <- pt:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	return sinkErr
 }
 
 // Collect executes the whole plan in memory and returns the ordered

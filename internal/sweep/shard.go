@@ -1,0 +1,420 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Sharded store layout
+//
+// A sharded campaign writes one directory of JSONL shard files instead
+// of a single store file. Each file holds records for one (shard slice,
+// generation, worker) triple:
+//
+//	s<slice>of<n>.g<generation>.w<worker>.shard.jsonl
+//
+// slice/n identify the process's partition of the plan's run-id space
+// (run ids with id % n == slice; a single-process sharded campaign is
+// slice 0 of 1). The generation counts resumes: every execution opens a
+// fresh generation rather than appending to older files, so each file's
+// run ids are strictly increasing — workers receive jobs in ascending
+// id order and append completions in arrival order. That per-file
+// sortedness is the invariant the merge relies on; it would break if an
+// execution appended to a file holding later ids from a previous run.
+//
+// The merge is a streaming k-way minimum over all shard files, emitting
+// each record's original line bytes. Records are produced hermetically
+// from (plan, run id) alone, so the merged output is byte-identical to
+// the store a single-writer workers=1 campaign writes — pinned by
+// TestShardMergeMatrix and the scaling-law harness.
+
+var shardNameRE = regexp.MustCompile(`^s(\d+)of(\d+)\.g(\d+)\.w(\d+)\.shard\.jsonl$`)
+
+func shardFileName(slice, of, generation, worker int) string {
+	return fmt.Sprintf("s%dof%d.g%d.w%d.shard.jsonl", slice, of, generation, worker)
+}
+
+// ShardedStore writes one shard slice of a campaign as per-worker JSONL
+// files in a directory. Unlike Store there is no global ordering: each
+// worker appends to its own file, fsync-per-record, so a kill at any
+// instant leaves every file a valid prefix plus at most one torn line.
+type ShardedStore struct {
+	dir        string
+	slice, of  int
+	generation int
+	files      []*os.File
+	writers    []*bufio.Writer
+}
+
+// OpenShardedStore opens (creating if needed) the shard directory for
+// slice/of and scans every existing shard file in it, returning the set
+// of run ids already completed — by any slice, any generation — so a
+// resumed campaign re-runs only the missing points. Torn trailing lines
+// from a killed writer are truncated away. Files whose names claim a
+// different slice count than of are rejected: mixing partitions of
+// different widths in one directory would double-run ids.
+func OpenShardedStore(dir string, slice, of, workers int) (*ShardedStore, map[int]bool, error) {
+	if of < 1 || slice < 0 || slice >= of {
+		return nil, nil, fmt.Errorf("sweep: shard slice %d/%d out of range", slice, of)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("sweep: creating shard dir: %w", err)
+	}
+	done := make(map[int]bool)
+	maxGen := -1
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sweep: scanning shard dir: %w", err)
+	}
+	for _, e := range entries {
+		m := shardNameRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		fSlice, _ := strconv.Atoi(m[1])
+		fOf, _ := strconv.Atoi(m[2])
+		fGen, _ := strconv.Atoi(m[3])
+		if fOf != of {
+			return nil, nil, fmt.Errorf("sweep: shard dir %s holds a %d-way shard file %s; this campaign shards %d ways", dir, fOf, e.Name(), of)
+		}
+		if fSlice == slice && fGen > maxGen {
+			maxGen = fGen
+		}
+		// Only this slice's own files are truncated at their torn tail: a
+		// sibling slice's process may be alive and mid-append, and cutting
+		// its file out from under it would corrupt a healthy shard. Other
+		// slices are scanned tolerantly, ignoring an unfinished tail.
+		ids, err := scanShard(filepath.Join(dir, e.Name()), fSlice == slice)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, id := range ids {
+			if done[id] {
+				return nil, nil, fmt.Errorf("sweep: shard dir %s holds run %d twice", dir, id)
+			}
+			done[id] = true
+		}
+	}
+	s := &ShardedStore{
+		dir: dir, slice: slice, of: of,
+		generation: maxGen + 1,
+		files:      make([]*os.File, workers),
+		writers:    make([]*bufio.Writer, workers),
+	}
+	return s, done, nil
+}
+
+// scanShard reads one shard file's run ids, stopping at a torn trailing
+// line (the mark of a writer killed mid-append). With truncate set it
+// also cuts the torn tail off on disk so the next generation starts
+// from a clean file.
+func scanShard(name string, truncate bool) ([]int, error) {
+	mode := os.O_RDONLY
+	if truncate {
+		mode = os.O_RDWR
+	}
+	f, err := os.OpenFile(name, mode, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening shard file: %w", err)
+	}
+	defer f.Close()
+	var ids []int
+	var good int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec struct {
+			RunID *int `json:"run_id"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil || rec.RunID == nil {
+			break // torn tail: cut here
+		}
+		ids = append(ids, *rec.RunID)
+		good += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: scanning shard file %s: %w", name, err)
+	}
+	if truncate {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		if fi.Size() > good {
+			if err := f.Truncate(good); err != nil {
+				return nil, fmt.Errorf("sweep: truncating torn shard tail: %w", err)
+			}
+		}
+	}
+	return ids, nil
+}
+
+// Sink persists rec to worker w's shard file, creating the file on the
+// worker's first record, and syncs — matching Store.Append's durability
+// so a kill loses at most in-flight lines. Safe for concurrent calls
+// with distinct w; ExecuteSharded provides exactly that.
+func (s *ShardedStore) Sink(w int, rec Record) error {
+	if s.writers[w] == nil {
+		name := filepath.Join(s.dir, shardFileName(s.slice, s.of, s.generation, w))
+		f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("sweep: creating shard file: %w", err)
+		}
+		s.files[w] = f
+		s.writers[w] = bufio.NewWriter(f)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding record: %w", err)
+	}
+	bw := s.writers[w]
+	if _, err := bw.Write(line); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return s.files[w].Sync()
+}
+
+// Close closes every shard file the store opened.
+func (s *ShardedStore) Close() error {
+	var first error
+	for w, f := range s.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.files[w], s.writers[w] = nil, nil
+	}
+	return first
+}
+
+// shardCursor walks one shard file line by line during a merge.
+type shardCursor struct {
+	name string
+	sc   *bufio.Scanner
+	f    *os.File
+	id   int    // run id of the current line
+	line []byte // current line bytes (owned copy)
+	done bool
+}
+
+func (c *shardCursor) advance() error {
+	prev := c.id
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return fmt.Errorf("sweep: reading shard %s: %w", c.name, err)
+		}
+		c.done = true
+		return nil
+	}
+	var rec struct {
+		RunID *int `json:"run_id"`
+	}
+	if err := json.Unmarshal(c.sc.Bytes(), &rec); err != nil || rec.RunID == nil {
+		// A torn tail survives here only when merging a live or
+		// never-resumed directory; treat it like OpenShardedStore would.
+		c.done = true
+		return nil
+	}
+	if c.line != nil && *rec.RunID <= prev {
+		return fmt.Errorf("sweep: shard %s is not sorted (run %d after %d)", c.name, *rec.RunID, prev)
+	}
+	c.id = *rec.RunID
+	c.line = append(c.line[:0], c.sc.Bytes()...)
+	return nil
+}
+
+// MergeShards streams every shard file in dir in run-id order into out,
+// emitting each record's original line bytes — the canonical single
+// store. Duplicate run ids across files are an error. The emitted ids
+// are returned in order; the caller decides whether gaps are acceptable
+// (a partial shard set) or fatal (a full-campaign merge).
+func MergeShards(dir string, out *os.File) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: scanning shard dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if shardNameRE.MatchString(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	cursors := make([]*shardCursor, 0, len(names))
+	defer func() {
+		for _, c := range cursors {
+			c.f.Close()
+		}
+	}()
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: opening shard: %w", err)
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		c := &shardCursor{name: name, sc: sc, f: f}
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if c.done {
+			f.Close()
+			continue
+		}
+		cursors = append(cursors, c)
+	}
+
+	bw := bufio.NewWriter(out)
+	var ids []int
+	last := -1
+	for {
+		best := -1
+		for i, c := range cursors {
+			if c.done {
+				continue
+			}
+			if best == -1 || c.id < cursors[best].id {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := cursors[best]
+		if c.id == last {
+			return nil, fmt.Errorf("sweep: run %d appears in more than one shard file", c.id)
+		}
+		last = c.id
+		ids = append(ids, c.id)
+		if _, err := bw.Write(c.line); err != nil {
+			return nil, err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return nil, err
+		}
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// ReadShardRecords decodes every record in every shard file in dir,
+// in run-id order — the read path for aggregating a sharded campaign
+// without first merging it to a single store.
+func ReadShardRecords(dir string) ([]Record, error) {
+	tmp, err := os.CreateTemp(dir, "merge-*.tmp")
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
+	if _, err := MergeShards(dir, tmp); err != nil {
+		return nil, err
+	}
+	if _, err := tmp.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return decodeRecords(tmp, tmp.Name())
+}
+
+// WriteMergedStore merges dir's shards into a canonical single-writer
+// store at path (written atomically via a temp file + rename), after
+// verifying the merged id set is exactly 0..n-1 for the plan's n runs
+// and every record matches the point its id expands to.
+func WriteMergedStore(p *Plan, dir, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".store-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	ids, err := MergeShards(dir, tmp)
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	want := p.Size()
+	if len(ids) != want {
+		return fmt.Errorf("sweep: shard dir %s holds %d of the plan's %d runs; finish all shard slices before merging", dir, len(ids), want)
+	}
+	for i, id := range ids {
+		if id != i {
+			return fmt.Errorf("sweep: merged shards missing run %d", i)
+		}
+	}
+	if _, err := tmp.Seek(0, 0); err != nil {
+		tmp.Close()
+		return err
+	}
+	recs, err := decodeRecords(tmp, tmp.Name())
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := CheckPrefix(p, recs); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Make the rename durable: sync the containing directory.
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return nil // best-effort: the rename itself succeeded
+	}
+	d.Sync()
+	return d.Close()
+}
+
+// decodeRecords decodes a JSONL record stream, rejecting malformed
+// lines (a merged store must be fully well-formed).
+func decodeRecords(f *os.File, name string) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("sweep: decoding %s: %w", name, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: reading %s: %w", name, err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,237 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// referenceStore runs the plan unsharded at workers=1 — the canonical
+// bytes every sharded execution must converge to.
+func referenceStore(t *testing.T, p *Plan) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ref.jsonl")
+	runToFile(t, p, path, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// runShardSlice executes one slice of the plan into dir, aborting after
+// stopAfter records (stopAfter < 0 runs to completion) — the in-process
+// stand-in for a shard process killed mid-campaign.
+func runShardSlice(t *testing.T, p *Plan, dir string, slice, of, workers, stopAfter int) {
+	t.Helper()
+	st, done, err := OpenShardedStore(dir, slice, of, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	killed := fmt.Errorf("kill")
+	var mu sync.Mutex
+	var sunk int
+	err = ExecuteSharded(p, workers,
+		func(id int) bool { return id%of == slice && !done[id] },
+		func(w int, rec Record) error {
+			mu.Lock()
+			dead := stopAfter >= 0 && sunk >= stopAfter
+			if !dead {
+				sunk++
+			}
+			mu.Unlock()
+			if dead {
+				return killed
+			}
+			return st.Sink(w, rec)
+		})
+	if stopAfter < 0 && err != nil {
+		t.Fatal(err)
+	}
+	if stopAfter >= 0 && err != killed {
+		t.Fatalf("kill at %d records did not abort: %v", stopAfter, err)
+	}
+}
+
+// TestShardMergeMatrix is the sharded-store determinism property: for
+// any shard count, any worker width, and any kill point — including a
+// torn trailing line in a shard file — resuming every slice to
+// completion and merging produces a store byte-identical to the
+// unsharded workers=1 store.
+func TestShardMergeMatrix(t *testing.T) {
+	p := testPlan()
+	want := referenceStore(t, p)
+
+	for _, of := range []int{1, 2, 3} {
+		for _, kill := range []int{-1, 0, 3} { // -1: clean run; 0/3: killed then resumed
+			name := fmt.Sprintf("shards=%d/kill=%d", of, kill)
+			t.Run(name, func(t *testing.T) {
+				dir := filepath.Join(t.TempDir(), "shards")
+				for slice := 0; slice < of; slice++ {
+					if kill >= 0 {
+						// First attempt dies after `kill` records …
+						runShardSlice(t, p, dir, slice, of, 2, kill)
+						// … possibly mid-append: tear a line onto one of
+						// its shard files.
+						if kill > 0 {
+							tearShardFile(t, dir)
+						}
+					}
+					// The resumed (or only) attempt completes the slice.
+					runShardSlice(t, p, dir, slice, of, 2, -1)
+				}
+				out := filepath.Join(t.TempDir(), "merged.jsonl")
+				if err := WriteMergedStore(p, dir, out); err != nil {
+					t.Fatal(err)
+				}
+				got, err := os.ReadFile(out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("merged store differs from unsharded workers=1 store:\n--- merged ---\n%s\n--- want ---\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// tearShardFile appends half a record to some shard file in dir — the
+// bytes a kill during a synced append leaves behind.
+func tearShardFile(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !shardNameRE.MatchString(e.Name()) {
+			continue
+		}
+		f, err := os.OpenFile(filepath.Join(dir, e.Name()), os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(`{"run_id":99,"protoc`); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		return
+	}
+	// No shard file yet (kill before any record): nothing to tear.
+}
+
+// TestShardedWorkerWidthInvariance: the merged bytes do not depend on
+// how many workers each shard process ran — width changes which worker
+// file a record lands in, never its contents or its merged position.
+func TestShardedWorkerWidthInvariance(t *testing.T) {
+	p := testPlan()
+	want := referenceStore(t, p)
+	for _, workers := range []int{1, 2, 4, 8} {
+		dir := filepath.Join(t.TempDir(), "shards")
+		for slice := 0; slice < 2; slice++ {
+			runShardSlice(t, p, dir, slice, 2, workers, -1)
+		}
+		out := filepath.Join(t.TempDir(), "merged.jsonl")
+		if err := WriteMergedStore(p, dir, out); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := os.ReadFile(out)
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: merged store differs from reference", workers)
+		}
+	}
+}
+
+// TestShardedStoreRejectsMixedWidths: one directory cannot mix
+// partitions of different shard counts — run ids would double-execute.
+func TestShardedStoreRejectsMixedWidths(t *testing.T) {
+	p := testPlan()
+	dir := filepath.Join(t.TempDir(), "shards")
+	runShardSlice(t, p, dir, 0, 2, 1, -1)
+	if _, _, err := OpenShardedStore(dir, 0, 3, 1); err == nil {
+		t.Fatal("a 3-way shard opened a directory holding 2-way shard files")
+	}
+}
+
+// TestShardedStoreRejectsDuplicates: a run id appearing in two shard
+// files (a mis-copied directory, overlapping slices) must be refused at
+// open and at merge.
+func TestShardedStoreRejectsDuplicates(t *testing.T) {
+	p := testPlan()
+	dir := filepath.Join(t.TempDir(), "shards")
+	runShardSlice(t, p, dir, 0, 2, 1, -1)
+	src, err := os.ReadFile(filepath.Join(dir, shardFileName(0, 2, 0, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second generation re-containing the same runs.
+	dup := filepath.Join(dir, shardFileName(0, 2, 1, 0))
+	if err := os.WriteFile(dup, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenShardedStore(dir, 0, 2, 1); err == nil {
+		t.Error("OpenShardedStore accepted a directory holding a run twice")
+	}
+	if _, err := MergeShards(dir, mustCreate(t)); err == nil {
+		t.Error("MergeShards accepted a directory holding a run twice")
+	}
+}
+
+func mustCreate(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "out.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestMergeRejectsIncompleteShards: -merge on a directory missing a
+// slice (a shard process that never ran) must refuse to write a
+// canonical store rather than produce one with holes.
+func TestMergeRejectsIncompleteShards(t *testing.T) {
+	p := testPlan()
+	dir := filepath.Join(t.TempDir(), "shards")
+	runShardSlice(t, p, dir, 0, 2, 2, -1) // slice 1 never runs
+	out := filepath.Join(t.TempDir(), "merged.jsonl")
+	if err := WriteMergedStore(p, dir, out); err == nil {
+		t.Fatal("WriteMergedStore accepted a shard directory missing half the campaign")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("a failed merge left a store file behind")
+	}
+}
+
+// TestReadShardRecords: aggregation can read a sharded campaign
+// directly, in run-id order, without writing the canonical store first.
+func TestReadShardRecords(t *testing.T) {
+	p := testPlan()
+	dir := filepath.Join(t.TempDir(), "shards")
+	for slice := 0; slice < 3; slice++ {
+		runShardSlice(t, p, dir, slice, 3, 2, -1)
+	}
+	recs, err := ReadShardRecords(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != p.Size() {
+		t.Fatalf("read %d records, want %d", len(recs), p.Size())
+	}
+	for i, r := range recs {
+		if r.RunID != i {
+			t.Fatalf("record %d carries run id %d", i, r.RunID)
+		}
+	}
+	if err := CheckPrefix(p, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Aggregate(p, recs, "useless_per_ref"); err != nil {
+		t.Fatalf("aggregating shard records: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -311,6 +312,18 @@ type resultsWire struct {
 // with fixed field names and order, no indentation, suitable for
 // line-oriented stores and byte-for-byte comparison across runs.
 func (r Results) EncodeStable() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.EncodeStableTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeStableTo appends r's stable wire encoding — the exact bytes
+// EncodeStable returns — to buf. Callers that encode many results (the
+// sweep executor's workers) reuse one buffer so the encoder's scratch
+// space is allocated once per worker, not once per run.
+func (r Results) EncodeStableTo(buf *bytes.Buffer) error {
 	w := resultsWire{
 		Protocol: r.Protocol.String(),
 		Procs:    r.Procs,
@@ -344,11 +357,14 @@ func (r Results) EncodeStable() ([]byte, error) {
 	for _, s := range r.Ctrl {
 		w.Ctrl = append(w.Ctrl, ctrlToWire(s))
 	}
-	out, err := json.Marshal(w)
-	if err != nil {
-		return nil, fmt.Errorf("system: encoding results: %w", err)
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(w); err != nil {
+		return fmt.Errorf("system: encoding results: %w", err)
 	}
-	return out, nil
+	// Encoder.Encode appends a newline json.Marshal does not; the wire
+	// format is newline-free (the store adds its own line framing).
+	buf.Truncate(buf.Len() - 1)
+	return nil
 }
 
 // DecodeResults inverts EncodeStable.

@@ -175,7 +175,7 @@ func ModelCheck(sc MCScenario) (MCResult, error) {
 		cfg.Obs = nil
 		cn := newChoiceNet()
 		gen := &mcGen{scripts: sc.Scripts, pos: make([]int, len(sc.Scripts)), blocks: sc.Blocks}
-		m, err := newMachine(cfg, gen, nil, func(*sim.Kernel) network.Network { return cn })
+		m, err := newMachine(cfg, gen, nil, nil, func(*sim.Kernel) network.Network { return cn })
 		if err != nil {
 			return 0, err
 		}

@@ -29,9 +29,18 @@ import (
 // networks (crossbar, bus). See DESIGN.md §6.
 type Oracle struct {
 	seq      uint64
-	seqs     map[addr.Block]map[uint64]uint64 // block → version → commit sequence
+	seqs     map[blockVersion]uint64 // (block, version) → commit sequence
 	latest   map[addr.Block]uint64
 	lastSeen map[procBlock]uint64 // per (proc, block): last observed commit seq
+}
+
+// blockVersion keys the commit table by a flat composite rather than a
+// map of maps: one hash table whose buckets survive Reset, so a reused
+// oracle's steady state commits without allocating. (The nested layout
+// was the sweep executor's single largest allocation source.)
+type blockVersion struct {
+	block   addr.Block
+	version uint64
 }
 
 type procBlock struct {
@@ -43,24 +52,31 @@ type procBlock struct {
 // memory contents and is implicitly committed with sequence 0.
 func NewOracle() *Oracle {
 	return &Oracle{
-		seqs:     make(map[addr.Block]map[uint64]uint64),
+		seqs:     make(map[blockVersion]uint64),
 		latest:   make(map[addr.Block]uint64),
 		lastSeen: make(map[procBlock]uint64),
 	}
 }
 
+// Reset empties the oracle for a new run while keeping its hash tables'
+// capacity, so a worker reusing one oracle across a campaign stops
+// paying per-run map growth. A Reset oracle is indistinguishable from a
+// fresh one.
+func (o *Oracle) Reset() {
+	o.seq = 0
+	clear(o.seqs)
+	clear(o.latest)
+	clear(o.lastSeen)
+}
+
 // Commit records that version v became current for block b.
 func (o *Oracle) Commit(b addr.Block, v uint64) {
 	o.seq++
-	m := o.seqs[b]
-	if m == nil {
-		m = make(map[uint64]uint64)
-		o.seqs[b] = m
-	}
-	if _, dup := m[v]; dup {
+	k := blockVersion{b, v}
+	if _, dup := o.seqs[k]; dup {
 		panic(fmt.Sprintf("oracle: version %d committed twice for %v", v, b))
 	}
-	m[v] = o.seq
+	o.seqs[k] = o.seq
 	o.latest[b] = v
 }
 
@@ -74,7 +90,7 @@ func (o *Oracle) seqOf(b addr.Block, v uint64) (uint64, bool) {
 	if v == 0 {
 		return 0, true
 	}
-	s, ok := o.seqs[b][v]
+	s, ok := o.seqs[blockVersion{b, v}]
 	return s, ok
 }
 

@@ -64,7 +64,7 @@ func NewReplayMachine(cfg Config, blocks int) (*ReplayMachine, error) {
 	cfg.NetJitter = 0
 	cn := newChoiceNet()
 	gen := &replayGen{blocks: blocks}
-	m, err := newMachine(cfg, gen, nil, func(*sim.Kernel) network.Network { return cn })
+	m, err := newMachine(cfg, gen, nil, nil, func(*sim.Kernel) network.Network { return cn })
 	if err != nil {
 		return nil, err
 	}

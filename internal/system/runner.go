@@ -1,0 +1,66 @@
+package system
+
+import (
+	"bytes"
+
+	"twobit/internal/sim"
+	"twobit/internal/workload"
+)
+
+// Runner is a worker-reusable run entry point. A campaign worker that
+// constructs a fresh machine per run pays the same allocations over and
+// over — the event kernel's heap, the coherence oracle's hash tables,
+// the results encoder's scratch space — and on a busy pool that
+// recurring garbage serializes every worker behind the collector. A
+// Runner owns those three pools and reuses them across runs: the kernel
+// keeps its event storage at the high-water mark (sim.Kernel.Reset), the
+// oracle keeps its table capacity (Oracle.Reset), and encoding reuses
+// one buffer.
+//
+// A Runner is confined to one goroutine; give each worker its own. Runs
+// through a Runner are byte-identical to runs through New — pinned by
+// TestRunnerReuse, riding on the TestKernelResetReuse contract.
+type Runner struct {
+	kernel sim.Kernel
+	oracle *Oracle
+	buf    bytes.Buffer
+}
+
+// NewRunner returns an empty Runner, ready to run.
+func NewRunner() *Runner {
+	return &Runner{oracle: NewOracle()}
+}
+
+// Run assembles a machine for cfg on the runner's pooled state and
+// drives every processor through refsPerProc references, exactly as
+// New + Machine.Run would.
+func (r *Runner) Run(cfg Config, gen workload.Generator, refsPerProc int) (Results, error) {
+	r.kernel.Reset()
+	// A previous instrumented run installed its profiling hook on the
+	// kernel; Reset keeps hooks, so drop it explicitly — the new
+	// machine re-installs one if cfg.Obs is set.
+	r.kernel.SetHook(nil)
+	var o *Oracle
+	if cfg.Oracle {
+		r.oracle.Reset()
+		o = r.oracle
+	}
+	m, err := newMachine(cfg, gen, &r.kernel, o, nil)
+	if err != nil {
+		return Results{}, err
+	}
+	return m.Run(refsPerProc)
+}
+
+// EncodeStable encodes res through the runner's reused buffer. The
+// returned bytes are a fresh copy sized to the encoding (the buffer is
+// reclaimed by the next call), identical to res.EncodeStable().
+func (r *Runner) EncodeStable(res Results) ([]byte, error) {
+	r.buf.Reset()
+	if err := res.EncodeStableTo(&r.buf); err != nil {
+		return nil, err
+	}
+	out := make([]byte, r.buf.Len())
+	copy(out, r.buf.Bytes())
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package system
+
+import (
+	"bytes"
+	"testing"
+
+	"twobit/internal/obs"
+	"twobit/internal/workload"
+)
+
+func runnerGen(procs int, seed uint64) workload.Generator {
+	return workload.NewSharedPrivate(workload.SharedPrivateConfig{
+		Procs: procs, SharedBlocks: 16, Q: 0.1, W: 0.3,
+		PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 64, ColdBlocks: 512, Seed: seed,
+	})
+}
+
+// TestRunnerReuse pins the Runner's contract: a heterogeneous sequence
+// of runs through one Runner — different protocols, machine sizes,
+// instrumentation on and off — must each produce results byte-identical
+// to the same configuration run on a fresh machine. Any state leaking
+// through the reused kernel, oracle tables, obs hook, or encode buffer
+// shows up as an encoding mismatch.
+func TestRunnerReuse(t *testing.T) {
+	cases := []struct {
+		name     string
+		protocol Protocol
+		procs    int
+		obs      bool
+		seed     uint64
+	}{
+		{"two-bit/4", TwoBit, 4, false, 42},
+		{"full-map/8", FullMap, 8, false, 7},
+		{"two-bit/4+obs", TwoBit, 4, true, 42},
+		{"two-bit/4 again", TwoBit, 4, false, 42}, // after obs: the hook must not leak
+		{"classical/2", Classical, 2, false, 3},
+	}
+
+	rn := NewRunner()
+	var prevEnc []byte
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := DefaultConfig(c.protocol, c.procs)
+			cfg.Seed = c.seed
+			if c.obs {
+				cfg.Obs = obs.New(0)
+			}
+			got, err := rn.Run(cfg, runnerGen(c.procs, c.seed), 600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotEnc, err := rn.EncodeStable(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fresh := cfg
+			if c.obs {
+				fresh.Obs = obs.New(0) // recorders are single-run; a fresh machine needs its own
+			}
+			m, err := New(fresh, runnerGen(c.procs, c.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := m.Run(600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantEnc, err := want.EncodeStable()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotEnc, wantEnc) {
+				t.Errorf("runner results diverge from fresh machine:\n--- runner ---\n%s\n--- fresh ---\n%s", gotEnc, wantEnc)
+			}
+			// The shared encode buffer must not alias previous output.
+			if prevEnc != nil && &prevEnc[0] == &gotEnc[0] {
+				t.Error("EncodeStable returned an aliased buffer across runs")
+			}
+			prevEnc = gotEnc
+		})
+	}
+}
+
+// TestOracleReset pins Reset: an oracle that has accumulated state must
+// behave exactly like a fresh one after Reset.
+func TestOracleReset(t *testing.T) {
+	o := NewOracle()
+	o.Commit(3, 1)
+	o.Commit(3, 2)
+	o.Commit(9, 3)
+	if err := o.NoteWrite(0, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	o.Reset()
+	if o.Commits() != 0 {
+		t.Errorf("Reset left %d commits", o.Commits())
+	}
+	if v := o.Latest(3); v != 0 {
+		t.Errorf("Reset left Latest(3) = %d", v)
+	}
+	// A version number from before the Reset must read as uncommitted.
+	if err := o.CheckLoad(0, 3, 0, 2, false); err == nil {
+		t.Error("pre-Reset version still committed after Reset")
+	}
+	// And the tables must work as a fresh oracle's would.
+	o.Commit(3, 5)
+	if err := o.CheckLoad(1, 3, 0, 5, false); err != nil {
+		t.Errorf("post-Reset load rejected: %v", err)
+	}
+}

@@ -237,7 +237,7 @@ type Machine struct {
 // New assembles a machine for cfg running gen. The address space is sized
 // from the generator.
 func New(cfg Config, gen workload.Generator) (*Machine, error) {
-	return newMachine(cfg, gen, nil, nil)
+	return newMachine(cfg, gen, nil, nil, nil)
 }
 
 // NewOnKernel is New on a caller-supplied kernel, so one kernel's event
@@ -248,13 +248,14 @@ func New(cfg Config, gen workload.Generator) (*Machine, error) {
 // cfg.Obs set installs its profiling hook on the kernel, and Reset keeps
 // hooks — call SetHook(nil) before reusing such a kernel without obs.
 func NewOnKernel(cfg Config, gen workload.Generator, k *sim.Kernel) (*Machine, error) {
-	return newMachine(cfg, gen, k, nil)
+	return newMachine(cfg, gen, k, nil, nil)
 }
 
-// newMachine is New with an optional kernel and network override; the
+// newMachine is New with an optional kernel, reusable oracle (Reset by
+// the caller; nil allocates a fresh one) and network override; the
 // model-checking tests use the latter to substitute a delivery-choice
 // network.
-func newMachine(cfg Config, gen workload.Generator, kernel *sim.Kernel, netFactory func(*sim.Kernel) network.Network) (*Machine, error) {
+func newMachine(cfg Config, gen workload.Generator, kernel *sim.Kernel, oracle *Oracle, netFactory func(*sim.Kernel) network.Network) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -292,7 +293,11 @@ func newMachine(cfg Config, gen workload.Generator, kernel *sim.Kernel, netFacto
 		m.net.Observe(cfg.Obs, m.trackName)
 	}
 	if cfg.Oracle {
-		m.oracle = NewOracle()
+		if oracle != nil {
+			m.oracle = oracle
+		} else {
+			m.oracle = NewOracle()
+		}
 		// Strict linearizability holds only when invalidations and grants
 		// travel with equal delay; the blocking Omega network and the
 		// jittered crossbar do not guarantee that, so they get the (still

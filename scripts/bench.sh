@@ -43,12 +43,22 @@ awk -v commit="$COMMIT" -v date="$DATE" '
 }
 END {
     if (n == 0) { print "bench.sh: no runs/s metrics parsed" > "/dev/stderr"; exit 1 }
+    if (rate["1"] == "") { print "bench.sh: no workers=1 rate for the efficiency curve" > "/dev/stderr"; exit 1 }
     printf "{\n  \"benchmark\": \"BenchmarkSweep\",\n"
     printf "  \"metric\": \"runs_per_second\",\n"
     printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
     printf "  \"workers\": {\n"
     for (i = 1; i <= n; i++) {
         printf "    \"%s\": %s%s\n", order[i], rate[order[i]], (i < n ? "," : "")
+    }
+    printf "  },\n"
+    # Parallel efficiency: rate(w) / (w * rate(1)). 1.0 is perfect linear
+    # scaling; on a single-CPU machine every multi-worker entry sits near
+    # 1/w, and benchdiff only compares it against the same machine.
+    printf "  \"efficiency\": {\n"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        printf "    \"%s\": %.4f%s\n", k, rate[k] / (k * rate["1"]), (i < n ? "," : "")
     }
     printf "  }\n}\n"
 }' "$RAW" > "$OUT"

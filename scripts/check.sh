@@ -54,6 +54,40 @@ cmp "$SMOKE/w1.jsonl" "$SMOKE/half.jsonl" || {
     exit 1
 }
 
+echo "==> sweep scaling smoke (sharded stores + multi-process shards)"
+# Single-process sharded mode: per-worker shard files merged back into a
+# canonical store must be byte-identical to the single-writer store.
+go run ./cmd/sweep -plan "$SMOKE/plan.json" -sharded -workers 4 \
+    -shards "$SMOKE/sharded" -quiet > /dev/null
+go run ./cmd/sweep -plan "$SMOKE/plan.json" -merge \
+    -shards "$SMOKE/sharded" -out "$SMOKE/sharded.jsonl" -quiet > /dev/null
+cmp "$SMOKE/w1.jsonl" "$SMOKE/sharded.jsonl" || {
+    echo "check.sh: sharded store does not merge to the single-writer store" >&2
+    exit 1
+}
+# Multi-process shard mode: two independent processes each fill one
+# slice of the run-id space; -merge validates and canonicalizes.
+go run ./cmd/sweep -plan "$SMOKE/plan.json" -shard 0/2 -workers 2 \
+    -shards "$SMOKE/mp" -quiet > /dev/null &
+MP_PID=$!
+go run ./cmd/sweep -plan "$SMOKE/plan.json" -shard 1/2 -workers 2 \
+    -shards "$SMOKE/mp" -quiet > /dev/null
+wait "$MP_PID"
+go run ./cmd/sweep -plan "$SMOKE/plan.json" -merge \
+    -shards "$SMOKE/mp" -out "$SMOKE/mp.jsonl" -quiet > /dev/null
+cmp "$SMOKE/w1.jsonl" "$SMOKE/mp.jsonl" || {
+    echo "check.sh: multi-process shard stores do not merge to the single-writer store" >&2
+    exit 1
+}
+# Parallel-efficiency floor, only where the hardware can express it: a
+# single-CPU runner can show determinism but not speedup.
+NCPU="$(nproc 2>/dev/null || echo 1)"
+if [ "$NCPU" -ge 4 ]; then
+    go test -run '^TestScalingLaw$' -count=1 ./internal/sweep
+else
+    echo "    (efficiency floor skipped: $NCPU CPU(s); byte-identity covered above)"
+fi
+
 
 echo "==> obs zero-alloc guard"
 # The disabled instrumentation path must not allocate: one allocation per
