@@ -391,6 +391,7 @@ func BenchmarkSweep(b *testing.B) {
 	plan.Normalize()
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs() // the pooled-graph contract: reuse, don't reconstruct
 			runs := 0
 			for i := 0; i < b.N; i++ {
 				recs, err := sweep.Collect(plan, workers)

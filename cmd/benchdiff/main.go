@@ -13,7 +13,12 @@
 //   - *_per_second, and the workers.* / efficiency.* grids of
 //     BENCH_sweep.json: higher is better; a drop of more than
 //     -max-regress (default 10%) fails.
-//   - ns_per_op: lower is better; a rise of more than -max-regress fails.
+//   - ns_per_op, and the allocs.* grid of BENCH_sweep.json (allocations
+//     per pooled sweep run, by worker width): lower is better; a rise of
+//     more than -max-regress fails. The sweep grid gets tolerance rather
+//     than the strict allocs_per_op rule because worker scheduling and
+//     GC-emptied sync.Pools move the count by a few percent between runs,
+//     while a reintroduced per-run machine construction multiplies it.
 //   - everything else (commit stamps, dates): informational, never fails.
 //
 // Exit status: 0 clean, 1 regression found, 2 usage or parse error.
@@ -131,6 +136,8 @@ func classify(path string) metricKind {
 	case strings.HasPrefix(path, "efficiency."): // BENCH_sweep.json: parallel efficiency by worker count
 		return higherBetter
 	case leaf == "ns_per_op":
+		return lowerBetter
+	case strings.HasPrefix(path, "allocs."): // BENCH_sweep.json: allocs per pooled run by worker count
 		return lowerBetter
 	default:
 		return informational

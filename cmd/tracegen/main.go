@@ -146,16 +146,43 @@ func runSynth(args []string) {
 		procs    = fs.Int("procs", 0, "override the scenario's processor count")
 		seed     = fs.Uint64("seed", 0, "override the scenario's seed")
 		chunkCap = fs.Int("chunk", 0, "references per chunk (0 = default)")
-		out      = fs.String("o", "", "output file (required)")
+		out      = fs.String("o", "", "output file (required unless -cache-dir)")
+		cacheDir = fs.String("cache-dir", "", "segment cache directory: reuse the cached segment for this spec if present, else synthesize into the cache (always default-chunked); -o optionally receives a copy")
 		quiet    = fs.Bool("quiet", false, "suppress the statistics summary")
 	)
 	fs.Parse(args)
-	if *out == "" {
-		fatal(fmt.Errorf("synth needs -o <file>"))
+	if *out == "" && *cacheDir == "" {
+		fatal(fmt.Errorf("synth needs -o <file> or -cache-dir <dir>"))
 	}
 	spec, err := loadSpec(*scenario, *specFile, *procs, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *cacheDir != "" {
+		path, hit, err := tracegen.EnsureSegment(*cacheDir, spec, *refs)
+		if err != nil {
+			fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			fatal(err)
+		}
+		verb := "synthesized into cache"
+		if hit {
+			verb = "cache hit"
+		}
+		fmt.Printf("%s: %s: %d procs × %d refs (%d bytes)\n", verb, path, spec.Procs, *refs, fi.Size())
+		if *out != "" {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("copied to %s\n", *out)
+		}
+		return
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -222,14 +249,14 @@ func runInspect(args []string) {
 	}
 	if *jsonOut {
 		out := struct {
-			Format     string             `json:"format"`
-			Procs      int                `json:"procs"`
-			Refs       int64              `json:"refs"`
-			PerProc    []int64            `json:"refs_per_proc"`
-			Blocks     int                `json:"blocks"`
-			WriteFrac  float64            `json:"write_frac"`
-			SharedFrac float64            `json:"shared_frac"`
-			ZipfSlope  float64            `json:"zipf_slope"`
+			Format     string              `json:"format"`
+			Procs      int                 `json:"procs"`
+			Refs       int64               `json:"refs"`
+			PerProc    []int64             `json:"refs_per_proc"`
+			Blocks     int                 `json:"blocks"`
+			WriteFrac  float64             `json:"write_frac"`
+			SharedFrac float64             `json:"shared_frac"`
+			ZipfSlope  float64             `json:"zipf_slope"`
 			TopKeys    []tracegen.KeyCount `json:"top_keys"`
 		}{
 			Format: format, Procs: len(st.PerProc()), Refs: st.Total(),

@@ -131,6 +131,30 @@ func New(cfg Config) *Cache {
 	}
 }
 
+// Reset restores the cache to its freshly-constructed state under cfg,
+// reusing the frame arrays and the lookup index. The geometry (Sets,
+// Assoc) must match the construction geometry — geometry is machine
+// shape, owned by whoever decides to pool or rebuild; value parameters
+// (Policy, DuplicateDirectory, Seed) may differ freely. It panics on an
+// invalid or geometry-changing Config, mirroring New.
+func (c *Cache) Reset(cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Sets != c.cfg.Sets || cfg.Assoc != c.cfg.Assoc {
+		panic(fmt.Sprintf("cache: Reset geometry %dx%d differs from construction %dx%d",
+			cfg.Sets, cfg.Assoc, c.cfg.Sets, c.cfg.Assoc))
+	}
+	c.cfg = cfg
+	for _, set := range c.sets {
+		clear(set)
+	}
+	c.clock = 0
+	c.random.Reseed(cfg.Seed, 0x5eed)
+	c.stats = Stats{}
+	clear(c.index)
+}
+
 // Config returns the construction configuration.
 func (c *Cache) Config() Config { return c.cfg }
 

@@ -64,6 +64,21 @@ func NewAgent(cfg AgentConfig, kernel *sim.Kernel, net network.Network, store *c
 	return a
 }
 
+// Reset restores the agent to its freshly-constructed state under cfg,
+// keeping the network attachment (Index and Topo must match
+// construction). The cache store is reset separately by its owner.
+func (a *Agent) Reset(cfg AgentConfig) {
+	if cfg.Index != a.cfg.Index || cfg.Topo != a.cfg.Topo {
+		panic("classical: Agent.Reset shape differs from construction")
+	}
+	a.cfg = cfg
+	a.stats = proto.CacheSideStats{}
+	a.pend = nil
+	a.lastInv = 0
+	a.hasLast = false
+	a.Filtered = 0
+}
+
 // Store implements proto.CacheSide.
 func (a *Agent) Store() *cache.Cache { return a.store }
 
@@ -193,6 +208,20 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 	}
 	net.Attach(cfg.Topo.CtrlNode(cfg.Module), c)
 	return c
+}
+
+// Reset restores the controller to its freshly-constructed state under
+// cfg, keeping the network attachment (Module, Topo and Space must match
+// construction).
+func (c *Controller) Reset(cfg Config) {
+	if cfg.Module != c.cfg.Module || cfg.Topo != c.cfg.Topo || cfg.Space != c.cfg.Space {
+		panic("classical: Controller.Reset shape differs from construction")
+	}
+	c.cfg = cfg
+	c.stats = proto.CtrlStats{}
+	clear(c.writes)
+	clear(c.reads)
+	clear(c.readsInFlight)
 }
 
 // CtrlStats implements proto.MemSide.

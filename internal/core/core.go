@@ -194,6 +194,37 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 	return c
 }
 
+// Reset restores the controller to its freshly-constructed state under
+// cfg, keeping the network attachment and the directory/serializer/call
+// slab backing storage. Module, Topo and Space are machine shape and must
+// match construction, as must translation-buffer presence (size > 0 or
+// not — the buffer itself resizes freely). Pooled machines run without
+// instrumentation or defect injection, so cfg.Obs and cfg.Hooks must be
+// nil; such configs rebuild the machine instead.
+func (c *Controller) Reset(cfg Config) {
+	if cfg.Obs != nil || cfg.Hooks != nil {
+		panic("core: Reset with Obs or Hooks set — rebuild instead")
+	}
+	if cfg.Module != c.cfg.Module || cfg.Topo != c.cfg.Topo || cfg.Space != c.cfg.Space {
+		panic("core: Reset shape differs from construction")
+	}
+	if (cfg.TranslationBufferSize > 0) != (c.tb != nil) {
+		panic("core: Reset cannot toggle the translation buffer — rebuild instead")
+	}
+	c.cfg = cfg
+	c.dir.Reset()
+	if c.tb != nil {
+		c.tb.Reset(cfg.TranslationBufferSize)
+	}
+	c.ser.Reset(cfg.Mode)
+	c.calls.Reset()
+	c.stats = proto.CtrlStats{}
+	clear(c.waiting)
+	clear(c.stashed)
+	clear(c.awaitingAck)
+	clear(c.activeSince)
+}
+
 // CtrlStats implements proto.MemSide.
 func (c *Controller) CtrlStats() *proto.CtrlStats { return &c.stats }
 

@@ -61,6 +61,9 @@ func NewTwoBitMap(blocks int) *TwoBitMap {
 	return &TwoBitMap{bits: make([]byte, (blocks+3)/4), blocks: blocks}
 }
 
+// Reset returns every block to Absent, reusing the packed bit array.
+func (m *TwoBitMap) Reset() { clear(m.bits) }
+
 // Blocks returns the number of blocks tracked.
 func (m *TwoBitMap) Blocks() int { return m.blocks }
 
@@ -111,6 +114,13 @@ func NewFullMap(blocks, caches int) *FullMap {
 		modified: make([]bool, blocks),
 		caches:   caches,
 	}
+}
+
+// Reset returns every block to the Absent equivalent (no holders,
+// unmodified), reusing the presence and modified arrays.
+func (m *FullMap) Reset() {
+	clear(m.presence)
+	clear(m.modified)
 }
 
 // Blocks returns the number of blocks tracked.

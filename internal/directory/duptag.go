@@ -23,6 +23,15 @@ func NewDupTagStore(caches int) *DupTagStore {
 	return &DupTagStore{present: p, modifiedBy: make(map[addr.Block]int)}
 }
 
+// Reset empties every per-cache tag set and the modified table, reusing
+// the maps.
+func (d *DupTagStore) Reset() {
+	for _, p := range d.present {
+		clear(p)
+	}
+	clear(d.modifiedBy)
+}
+
 // Caches returns the number of tracked caches.
 func (d *DupTagStore) Caches() int { return len(d.present) }
 

@@ -48,6 +48,18 @@ func NewTranslationBuffer(capacity int) *TranslationBuffer {
 	}
 }
 
+// Reset empties the buffer and resizes it to capacity, reusing the entry
+// map. Semantics match NewTranslationBuffer (negative capacity → 0).
+func (t *TranslationBuffer) Reset(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	t.capacity = capacity
+	clear(t.entries)
+	t.head, t.tail = nil, nil
+	t.stats = TBStats{}
+}
+
 // Stats returns the buffer's counters.
 func (t *TranslationBuffer) Stats() *TBStats { return &t.stats }
 

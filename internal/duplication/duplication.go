@@ -69,6 +69,22 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 	return c
 }
 
+// Reset restores the controller to its freshly-constructed state under
+// cfg, keeping the network attachment (Topo and Space must match
+// construction) and the duplicate-tag/serializer backing storage.
+func (c *Controller) Reset(cfg Config) {
+	if cfg.Topo != c.cfg.Topo || cfg.Space != c.cfg.Space {
+		panic("duplication: Reset shape differs from construction")
+	}
+	c.cfg = cfg
+	c.dup.Reset()
+	c.ser.Reset(proto.SingleCommand)
+	c.stats = proto.CtrlStats{}
+	clear(c.waiting)
+	clear(c.stashed)
+	clear(c.activeSince)
+}
+
 // CtrlStats implements proto.MemSide.
 func (c *Controller) CtrlStats() *proto.CtrlStats { return &c.stats }
 

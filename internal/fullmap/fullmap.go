@@ -99,6 +99,28 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 	return c
 }
 
+// Reset restores the controller to its freshly-constructed state under
+// cfg, keeping the network attachment and the directory/serializer/call
+// slab backing storage. Module, Topo and Space are machine shape and must
+// match construction. Pooled machines run uninstrumented, so cfg.Obs must
+// be nil; instrumented configs rebuild the machine instead.
+func (c *Controller) Reset(cfg Config) {
+	if cfg.Obs != nil {
+		panic("fullmap: Reset with Obs set — rebuild instead")
+	}
+	if cfg.Module != c.cfg.Module || cfg.Topo != c.cfg.Topo || cfg.Space != c.cfg.Space {
+		panic("fullmap: Reset shape differs from construction")
+	}
+	c.cfg = cfg
+	c.dir.Reset()
+	c.ser.Reset(cfg.Mode)
+	c.calls.Reset()
+	c.stats = proto.CtrlStats{}
+	clear(c.waiting)
+	clear(c.stashed)
+	clear(c.activeSince)
+}
+
 // CtrlStats implements proto.MemSide.
 func (c *Controller) CtrlStats() *proto.CtrlStats { return &c.stats }
 

@@ -45,6 +45,18 @@
 //     AtCall/AfterCall form, or hoisting the captured state into a
 //     reused record, is the fix.
 //
+//   - pooled-construction: orchestrator packages (the campaign engine)
+//     must not call exported New* constructors declared in the
+//     machine-component packages (caches, memory, controllers, networks,
+//     the system builders). The pooled machine graph constructs each
+//     worker's components once and resets them between runs; a component
+//     constructor reappearing in the orchestrator is per-run
+//     construction sneaking back past the pool — the exact regression
+//     the allocation gate in scripts/bench.sh exists to catch, flagged
+//     here before anything runs. The sanctioned pool entry point
+//     (system.NewRunner) is exempt; genuinely one-shot paths carry a
+//     //lint:allow with a written reason.
+//
 // A finding can be suppressed only by an explicit escape hatch on the
 // offending line (or the line above):
 //
@@ -52,7 +64,7 @@
 //
 // where <reason> is mandatory. The analyzer names are
 // "exhaustive-switch", "handler-completeness", "dead-transition",
-// "determinism" and "closure-in-hotpath".
+// "determinism", "closure-in-hotpath" and "pooled-construction".
 //
 // The analyzers run in two places: `go run ./cmd/coherencelint ./...`
 // for build pipelines, and TestModuleIsLintClean in this package so that
@@ -72,6 +84,7 @@ const (
 	AnalyzerDeterminism    = "determinism"
 	AnalyzerHotPath        = "closure-in-hotpath"
 	AnalyzerDeadTransition = "dead-transition"
+	AnalyzerConstruction   = "pooled-construction"
 	// AnalyzerDirective reports malformed //lint:allow directives; it
 	// cannot itself be suppressed.
 	AnalyzerDirective = "allow-directive"
@@ -141,6 +154,17 @@ type Config struct {
 	// the pooled AtCall/AfterCall form exists for exactly that shape.
 	// Default: <module>/internal/network and <module>/internal/core.
 	HotPaths []string
+	// ComponentPaths lists the machine-component packages whose exported
+	// New* constructors the orchestrators must not call: component
+	// lifetimes belong to the pooled machine graph, which is built once
+	// per worker and reset between runs. Default: the cache, memory,
+	// core, fullmap, proto, network, directory and system packages.
+	ComponentPaths []string
+	// AllowedConstructors lists fully qualified constructors ("path.Func")
+	// exempt from the pooled-construction rule — the sanctioned entry
+	// points that own the pool itself. Default: <module>/internal/system's
+	// NewRunner.
+	AllowedConstructors []string
 }
 
 func (c *Config) fill(mod *module) {
@@ -169,6 +193,21 @@ func (c *Config) fill(mod *module) {
 	if c.HotPaths == nil {
 		c.HotPaths = []string{mod.path + "/internal/network", mod.path + "/internal/core"}
 	}
+	if c.ComponentPaths == nil {
+		c.ComponentPaths = []string{
+			mod.path + "/internal/cache",
+			mod.path + "/internal/memory",
+			mod.path + "/internal/core",
+			mod.path + "/internal/fullmap",
+			mod.path + "/internal/proto",
+			mod.path + "/internal/network",
+			mod.path + "/internal/directory",
+			mod.path + "/internal/system",
+		}
+	}
+	if c.AllowedConstructors == nil {
+		c.AllowedConstructors = []string{mod.path + "/internal/system.NewRunner"}
+	}
 }
 
 // Run loads the module containing cfg.Dir and applies all three
@@ -188,6 +227,7 @@ func Run(cfg Config) ([]Diagnostic, error) {
 	diags = append(diags, checkDeadTransitions(mod, cfg)...)
 	diags = append(diags, checkDeterminism(mod, cfg)...)
 	diags = append(diags, checkHotPath(mod, cfg)...)
+	diags = append(diags, checkConstruction(mod, cfg)...)
 
 	kept := diags[:0]
 	for _, d := range diags {

@@ -179,6 +179,43 @@ func TestHotPathFixtures(t *testing.T) {
 	}), nil)
 }
 
+func TestConstructionFixtures(t *testing.T) {
+	// Pool-respecting orchestration is clean: construction flows through
+	// the sanctioned entry point, the per-run path only resets, and the
+	// one documented one-shot construction is suppressed by its
+	// //lint:allow.
+	expect(t, run(t, lint.Config{
+		Dir:                 fixture(t, "poolgood"),
+		Scope:               "poolgood",
+		Orchestrators:       []string{"poolgood/orch"},
+		ComponentPaths:      []string{"poolgood/comp"},
+		AllowedConstructors: []string{"poolgood/comp.NewPool"},
+	}), nil)
+
+	// Component constructors inside the orchestrator's run loop are
+	// findings; the allowed entry point and the New-prefixed non-
+	// constructor are not.
+	expect(t, run(t, lint.Config{
+		Dir:                 fixture(t, "poolbad"),
+		Scope:               "poolbad",
+		Orchestrators:       []string{"poolbad/orch"},
+		ComponentPaths:      []string{"poolbad/comp"},
+		AllowedConstructors: []string{"poolbad/comp.NewPool"},
+	}), []string{
+		"orch/orch.go:13:8: [pooled-construction] orchestrator package poolbad/orch calls component constructor poolbad/comp.New: the pooled machine graph is built once per worker and reset between runs; construct through the pooled runner or document the one-shot path with //lint:allow",
+		"orch/orch.go:14:8: [pooled-construction] orchestrator package poolbad/orch calls component constructor poolbad/comp.NewModule: the pooled machine graph is built once per worker and reset between runs; construct through the pooled runner or document the one-shot path with //lint:allow",
+	})
+
+	// Outside the declared orchestrators the same calls are legal:
+	// component packages construct each other freely.
+	expect(t, run(t, lint.Config{
+		Dir:            fixture(t, "poolbad"),
+		Scope:          "poolbad",
+		Orchestrators:  []string{},
+		ComponentPaths: []string{"poolbad/comp"},
+	}), nil)
+}
+
 func TestOrchestratorFixtures(t *testing.T) {
 	// A declared orchestrator may start goroutines with no per-line
 	// directives; the rest of the module stays under the full analyzer.

@@ -1,0 +1,33 @@
+// Package comp is a stand-in machine-component package: its exported
+// New* constructors are what the pooled-construction analyzer forbids
+// orchestrators from calling.
+package comp
+
+// Cache is a pooled component.
+type Cache struct{ sets int }
+
+// New constructs a Cache.
+func New(sets int) *Cache { return &Cache{sets: sets} }
+
+// Reset reuses the cache for another run.
+func (c *Cache) Reset(sets int) { c.sets = sets }
+
+// Module is a second component, to pin multiple findings.
+type Module struct{}
+
+// NewModule constructs a Module.
+func NewModule() *Module { return &Module{} }
+
+// Pool owns the component graph; its constructor is the sanctioned
+// entry point (cfg.AllowedConstructors).
+type Pool struct{ c *Cache }
+
+// NewPool builds the graph once.
+func NewPool() *Pool { return &Pool{c: New(4)} }
+
+// Run resets and executes one run.
+func (p *Pool) Run() { p.c.Reset(4) }
+
+// Newt shares the New prefix but continues lowercase: an ordinary word,
+// not a constructor, so orchestrators may call it freely.
+func Newt() {}

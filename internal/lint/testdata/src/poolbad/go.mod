@@ -1,0 +1,3 @@
+module poolbad
+
+go 1.22

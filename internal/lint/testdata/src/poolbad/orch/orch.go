@@ -1,0 +1,19 @@
+// Package orch is an orchestrator that reconstructs components per run —
+// the shape the pooled-construction analyzer must reject; the test pins
+// the positions.
+package orch
+
+import "poolbad/comp"
+
+// RunAll executes n runs, wrongly building fresh components inside the
+// loop instead of resetting the pool.
+func RunAll(n int) {
+	p := comp.NewPool() // sanctioned entry point, allowed
+	for i := 0; i < n; i++ {
+		c := comp.New(4)      // finding: per-run component construction
+		m := comp.NewModule() // finding: second constructor, same loop
+		comp.Newt()           // not a constructor: New + lowercase
+		_, _ = c, m
+		p.Run()
+	}
+}

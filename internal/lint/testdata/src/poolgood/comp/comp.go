@@ -1,0 +1,22 @@
+// Package comp is a stand-in machine-component package for the clean
+// pooled-construction fixture.
+package comp
+
+// Cache is a pooled component.
+type Cache struct{ sets int }
+
+// New constructs a Cache.
+func New(sets int) *Cache { return &Cache{sets: sets} }
+
+// Reset reuses the cache for another run.
+func (c *Cache) Reset(sets int) { c.sets = sets }
+
+// Pool owns the component graph; its constructor is the sanctioned
+// entry point (cfg.AllowedConstructors).
+type Pool struct{ c *Cache }
+
+// NewPool builds the graph once.
+func NewPool() *Pool { return &Pool{c: New(4)} }
+
+// Run resets and executes one run.
+func (p *Pool) Run() { p.c.Reset(4) }

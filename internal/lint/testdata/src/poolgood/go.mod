@@ -1,0 +1,3 @@
+module poolgood
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package orch is an orchestrator that honors the pooled-graph
+// contract: components are built once through the sanctioned entry
+// point and reset between runs, and the single one-shot construction
+// carries a documented //lint:allow.
+package orch
+
+import "poolgood/comp"
+
+// RunAll executes n runs against one pooled graph.
+func RunAll(n int) {
+	p := comp.NewPool()
+	for i := 0; i < n; i++ {
+		p.Run()
+	}
+}
+
+// Inspect builds a throwaway component outside any campaign — a
+// diagnostic path, documented as such.
+func Inspect() *comp.Cache {
+	//lint:allow pooled-construction one-shot diagnostic machine, not on the per-run path
+	return comp.New(4)
+}

@@ -48,6 +48,18 @@ func NewModule(space addr.Space, index int, latency sim.Time) *Module {
 	}
 }
 
+// Reset restores the module to its freshly-constructed state, reusing the
+// data array. The address space and module index are construction shape;
+// only the access latency may change across runs.
+func (m *Module) Reset(latency sim.Time) {
+	if latency < 0 {
+		panic("memory: negative latency")
+	}
+	clear(m.data)
+	m.latency = latency
+	m.stats = Stats{}
+}
+
 // Latency returns the access time in cycles.
 func (m *Module) Latency() sim.Time { return m.latency }
 

@@ -158,6 +158,18 @@ func (b *base) Attach(id NodeID, h Handler) {
 
 func (b *base) Stats() *Stats { return &b.stats }
 
+// reset clears per-run state — counters and the delivery slab — while
+// keeping the attachment graph (handlers, order): Attach panics on
+// re-attach, so a pooled network keeps its wiring for the machine's
+// lifetime. Callers reset only between runs, when the kernel has drained
+// every scheduled delivery, so no live event indexes the cleared slab.
+func (b *base) reset() {
+	b.stats = Stats{}
+	clear(b.pool)
+	b.pool = b.pool[:0]
+	b.freeHead = -1
+}
+
 // Observe implements Network.
 func (b *base) Observe(rec *obs.Recorder, names func(NodeID) string) {
 	if rec == nil {
@@ -297,6 +309,27 @@ func NewJitterCrossbar(k *sim.Kernel, latency, jitter sim.Time, seed uint64) *Cr
 	return c
 }
 
+// Reset restores the crossbar to its freshly-constructed state under new
+// timing parameters, keeping the attachment graph. Semantics match
+// NewJitterCrossbar.
+func (c *Crossbar) Reset(latency, jitter sim.Time, seed uint64) {
+	if latency < 0 || jitter < 0 {
+		panic("network: negative latency or jitter")
+	}
+	c.base.reset()
+	c.latency = latency
+	c.jitter = jitter
+	c.random.Reseed(seed, 0x17e7)
+	switch {
+	case jitter > 0 && c.lastAt == nil:
+		c.lastAt = make(map[[2]NodeID]sim.Time)
+	case jitter > 0:
+		clear(c.lastAt)
+	default:
+		c.lastAt = nil
+	}
+}
+
 // Send implements Network.
 func (c *Crossbar) Send(src, dst NodeID, m msg.Message) {
 	h := c.handler(dst)
@@ -353,6 +386,21 @@ func NewBus(k *sim.Kernel, cycleTime, latency sim.Time) *Bus {
 		panic("network: negative latency")
 	}
 	return &Bus{base: newBase(k), cycleTime: cycleTime, latency: latency}
+}
+
+// Reset restores the bus to its freshly-constructed state under new
+// timing parameters, keeping the attachment graph. Semantics match NewBus.
+func (b *Bus) Reset(cycleTime, latency sim.Time) {
+	if cycleTime < 1 {
+		panic("network: bus cycle time must be ≥ 1")
+	}
+	if latency < 0 {
+		panic("network: negative latency")
+	}
+	b.base.reset()
+	b.cycleTime = cycleTime
+	b.latency = latency
+	b.freeAt = 0
 }
 
 // acquire reserves the bus and returns the delivery time.
@@ -440,6 +488,20 @@ func NewOmega(k *sim.Kernel, size int, hop sim.Time) *Omega {
 		lf[i] = make([]sim.Time, pow)
 	}
 	return &Omega{base: newBase(k), stages: stages, size: pow, hop: hop, linkFree: lf}
+}
+
+// Reset restores the omega network to its freshly-constructed state under
+// a new hop time, keeping the attachment graph and the stage/link arrays
+// (port count is machine shape).
+func (o *Omega) Reset(hop sim.Time) {
+	if hop < 1 {
+		panic("network: omega hop time must be ≥ 1")
+	}
+	o.base.reset()
+	o.hop = hop
+	for _, row := range o.linkFree {
+		clear(row)
+	}
 }
 
 // Size returns the (power-of-two) port count.

@@ -114,6 +114,27 @@ func NewCacheAgent(cfg AgentConfig, kernel *sim.Kernel, net network.Network, sto
 	return a
 }
 
+// Reset restores the agent to its freshly-constructed state under cfg,
+// keeping the network attachment (Index and Topo are machine shape and
+// must match construction). Pooled machines run uninstrumented, so
+// cfg.Obs must be nil; instrumented configs rebuild the machine instead.
+// The cache store is reset separately by its owner.
+func (a *CacheAgent) Reset(cfg AgentConfig) {
+	if cfg.Obs != nil {
+		panic("proto: CacheAgent.Reset with Obs set — rebuild instead")
+	}
+	if cfg.Index != a.cfg.Index || cfg.Topo != a.cfg.Topo {
+		panic(fmt.Sprintf("proto: CacheAgent.Reset shape (%d,%+v) differs from construction (%d,%+v)",
+			cfg.Index, cfg.Topo, a.cfg.Index, a.cfg.Topo))
+	}
+	a.cfg = cfg
+	a.stats = CacheSideStats{}
+	a.pend = pendingRef{}
+	a.pendActive = false
+	a.compDone = nil
+	a.compBlock = 0
+}
+
 // Store implements CacheSide.
 func (a *CacheAgent) Store() *cache.Cache { return a.store }
 

@@ -43,6 +43,15 @@ func NewCallQueue(k *sim.Kernel, service func(Pending)) *CallQueue {
 	return &CallQueue{kernel: k, service: service, free: -1}
 }
 
+// Reset discards all slab records, retaining capacity. The owning
+// controller resets only between runs, when the kernel queue is drained,
+// so no scheduled event can still index a discarded record.
+func (q *CallQueue) Reset() {
+	clear(q.recs)
+	q.recs = q.recs[:0]
+	q.free = -1
+}
+
 func (q *CallQueue) alloc() int32 {
 	idx := q.free
 	if idx < 0 {

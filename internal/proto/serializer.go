@@ -76,6 +76,20 @@ func NewSerializer(mode ConcurrencyMode, start StartFunc) *Serializer {
 	}
 }
 
+// Reset empties the serializer and switches it to mode, reusing the busy
+// and queue maps and the ready slice. The StartFunc stays bound — it is a
+// method value on the owning controller, which outlives the reset.
+func (s *Serializer) Reset(mode ConcurrencyMode) {
+	s.mode = mode
+	clear(s.busy)
+	clear(s.queues)
+	s.global = s.global[:0]
+	s.active = 0
+	s.ready = s.ready[:0]
+	s.dispatching = false
+	s.queued = 0
+}
+
 // QueuedLen returns the number of queued (not yet started) commands.
 func (s *Serializer) QueuedLen() int { return s.queued }
 
@@ -187,16 +201,19 @@ func (s *Serializer) DeleteQueued(b addr.Block, match func(Pending) bool) int {
 
 // dispatch runs ready transactions iteratively, so a StartFunc that
 // completes synchronously (calling Done, which may ready more work) cannot
-// recurse arbitrarily deep.
+// recurse arbitrarily deep. The queue is consumed by index, not by
+// re-slicing the head away: a start that readies more work appends
+// behind the cursor, and truncating to [:0] at the end keeps the
+// backing array — the hot path admits millions of commands per
+// campaign and must not reallocate the ready queue for each.
 func (s *Serializer) dispatch() {
 	if s.dispatching {
 		return
 	}
 	s.dispatching = true
-	for len(s.ready) > 0 {
-		p := s.ready[0]
-		s.ready = s.ready[1:]
-		s.start(p)
+	for i := 0; i < len(s.ready); i++ {
+		s.start(s.ready[i])
 	}
+	s.ready = s.ready[:0]
 	s.dispatching = false
 }

@@ -27,6 +27,17 @@ func New(seed, stream uint64) *PCG {
 	return p
 }
 
+// Reseed restarts p in place, exactly as New(seed, stream) would have
+// constructed it — the allocation-free form for pooled components whose
+// Reset must restore a freshly-seeded generator.
+func (p *PCG) Reseed(seed, stream uint64) {
+	p.state = 0
+	p.inc = stream<<1 | 1
+	p.Uint32()
+	p.state += seed
+	p.Uint32()
+}
+
 // Split derives a new, independent generator from p. The child's seed and
 // stream are drawn from p, so splitting is itself deterministic.
 func (p *PCG) Split() *PCG {

@@ -53,6 +53,18 @@ func NewAgent(cfg AgentConfig, kernel *sim.Kernel, net network.Network, store *c
 	return a
 }
 
+// Reset restores the agent to its freshly-constructed state under cfg,
+// keeping the network attachment (Index and Topo must match
+// construction). The cache store is reset separately by its owner.
+func (a *Agent) Reset(cfg AgentConfig) {
+	if cfg.Index != a.cfg.Index || cfg.Topo != a.cfg.Topo {
+		panic("software: Agent.Reset shape differs from construction")
+	}
+	a.cfg = cfg
+	a.stats = proto.CacheSideStats{}
+	a.pend = nil
+}
+
 // Store implements proto.CacheSide.
 func (a *Agent) Store() *cache.Cache { return a.store }
 
@@ -181,6 +193,17 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 	c := &Controller{cfg: cfg, kernel: kernel, net: net, mem: mem}
 	net.Attach(cfg.Topo.CtrlNode(cfg.Module), c)
 	return c
+}
+
+// Reset restores the controller to its freshly-constructed state under
+// cfg, keeping the network attachment (Module, Topo and Space must match
+// construction).
+func (c *Controller) Reset(cfg Config) {
+	if cfg.Module != c.cfg.Module || cfg.Topo != c.cfg.Topo || cfg.Space != c.cfg.Space {
+		panic("software: Controller.Reset shape differs from construction")
+	}
+	c.cfg = cfg
+	c.stats = proto.CtrlStats{}
 }
 
 // CtrlStats implements proto.MemSide.

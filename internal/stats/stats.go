@@ -119,6 +119,15 @@ func (h *Histogram) Observe(v uint64) {
 	h.samples++
 }
 
+// Reset clears all observations, retaining the bin slice capacity so a
+// pooled histogram does not reallocate on reuse. Width is preserved.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.counts = h.counts[:0]
+	h.total = 0
+	h.samples = 0
+}
+
 // N returns the number of observations.
 func (h *Histogram) N() uint64 { return h.samples }
 

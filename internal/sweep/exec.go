@@ -7,6 +7,7 @@ import (
 
 	"twobit/internal/obs"
 	"twobit/internal/system"
+	"twobit/internal/tracegen"
 )
 
 // Record is one completed run: the point's coordinates plus either the
@@ -35,6 +36,15 @@ func (r Record) Decode() (system.Results, error) {
 	return system.DecodeResults(r.Results)
 }
 
+// runners recycles worker Runners — and with them the pooled machine
+// graphs, kernel heaps, oracle tables and encode buffers they own —
+// across campaigns, so back-to-back executions (benchmark iterations,
+// sweep resumes, CLI sessions driving several plans) construct
+// machines only on first use. Sound because a Runner is
+// goroutine-confined while checked out and Runner.Run restores all
+// pooled state before every run.
+var runners = sync.Pool{New: func() any { return system.NewRunner() }}
+
 // testRunStall, when non-nil, is called by a worker just before it runs
 // a point — a test hook for provoking worker skew (a stalled low run id
 // with fast successors) against the re-sequencer's backpressure bound.
@@ -58,6 +68,7 @@ func runPoint(p *Plan, pt Point, rn *system.Runner) Record {
 		Seed:      pt.Seed,
 	}
 	gen := p.generator(pt)
+	defer tracegen.CloseGenerator(gen) // cached trace segments hold an mmap
 	cfg := p.Config(pt)
 	if p.Obs || p.Spans {
 		cfg.Obs = obs.New(0) // metrics only: no event ring in stored campaigns
@@ -216,7 +227,8 @@ func ExecuteObserved(p *Plan, workers, startAt int, emit func(Record) error, pro
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rn := system.NewRunner()
+			rn := runners.Get().(*system.Runner)
+			defer runners.Put(rn)
 			for pt := range jobs {
 				prog.noteRunStart(w)
 				if testRunStall != nil {
@@ -338,7 +350,8 @@ func ExecuteShardedObserved(p *Plan, workers int, want func(runID int) bool, sin
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			rn := system.NewRunner()
+			rn := runners.Get().(*system.Runner)
+			defer runners.Put(rn)
 			for pt := range jobs {
 				prog.noteRunStart(w)
 				if testRunStall != nil {

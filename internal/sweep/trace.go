@@ -5,6 +5,7 @@ import (
 
 	"twobit/internal/obs"
 	"twobit/internal/system"
+	"twobit/internal/tracegen"
 )
 
 // TracePoint re-executes one run of a plan with the given recorder
@@ -29,8 +30,10 @@ func TracePoint(p *Plan, runID int, rec *obs.Recorder) (system.Results, error) {
 	}
 	pt := points[runID]
 	gen := p.generator(pt)
+	defer tracegen.CloseGenerator(gen) // cached trace segments hold an mmap
 	cfg := p.Config(pt)
 	cfg.Obs = rec
+	//lint:allow pooled-construction one machine per trace export, with obs hooks the pool excludes
 	m, err := system.New(cfg, gen)
 	if err != nil {
 		return system.Results{}, err

@@ -15,19 +15,37 @@ import (
 
 // classicalBuilder assembles the §2.3 broadcast write-through machine.
 type classicalBuilder struct {
-	ctrls []*classical.Controller
+	agents []*classical.Agent
+	ctrls  []*classical.Controller
+	mems   []*memory.Module
+}
+
+func classicalAgentConfig(m *Machine, k int) classical.AgentConfig {
+	return classical.AgentConfig{
+		Index:      k,
+		Topo:       m.topo,
+		Lat:        m.cfg.Lat,
+		BiasFilter: m.cfg.DuplicateDirectory, // reuse the filter knob
+	}
+}
+
+func classicalCtrlConfig(m *Machine, j int) classical.Config {
+	return classical.Config{
+		Module: j,
+		Topo:   m.topo,
+		Space:  m.space,
+		Lat:    m.cfg.Lat,
+		Commit: m.commitHook(),
+	}
 }
 
 func (b *classicalBuilder) buildCaches(m *Machine) []proto.CacheSide {
 	sides := make([]proto.CacheSide, m.cfg.Procs)
+	b.agents = make([]*classical.Agent, m.cfg.Procs)
 	for k := 0; k < m.cfg.Procs; k++ {
 		store := cache.New(m.cacheConfig(k))
-		sides[k] = classical.NewAgent(classical.AgentConfig{
-			Index:      k,
-			Topo:       m.topo,
-			Lat:        m.cfg.Lat,
-			BiasFilter: m.cfg.DuplicateDirectory, // reuse the filter knob
-		}, m.kernel, m.net, store)
+		b.agents[k] = classical.NewAgent(classicalAgentConfig(m, k), m.kernel, m.net, store)
+		sides[k] = b.agents[k]
 	}
 	return sides
 }
@@ -35,19 +53,26 @@ func (b *classicalBuilder) buildCaches(m *Machine) []proto.CacheSide {
 func (b *classicalBuilder) buildCtrls(m *Machine) []proto.MemSide {
 	out := make([]proto.MemSide, m.cfg.Modules)
 	b.ctrls = make([]*classical.Controller, m.cfg.Modules)
+	b.mems = make([]*memory.Module, m.cfg.Modules)
 	for j := 0; j < m.cfg.Modules; j++ {
 		mem := memory.NewModule(m.space, j, m.cfg.Lat.Memory)
-		c := classical.New(classical.Config{
-			Module: j,
-			Topo:   m.topo,
-			Space:  m.space,
-			Lat:    m.cfg.Lat,
-			Commit: m.commitHook(),
-		}, m.kernel, m.net, mem)
+		c := classical.New(classicalCtrlConfig(m, j), m.kernel, m.net, mem)
+		b.mems[j] = mem
 		b.ctrls[j] = c
 		out[j] = c
 	}
 	return out
+}
+
+func (b *classicalBuilder) reset(m *Machine) {
+	for k, a := range b.agents {
+		a.Store().Reset(m.cacheConfig(k))
+		a.Reset(classicalAgentConfig(m, k))
+	}
+	for j, c := range b.ctrls {
+		b.mems[j].Reset(m.cfg.Lat.Memory)
+		c.Reset(classicalCtrlConfig(m, j))
+	}
 }
 
 func (b *classicalBuilder) checkInvariants(m *Machine) error {
@@ -71,11 +96,14 @@ func (b *classicalBuilder) checkInvariants(m *Machine) error {
 
 // duplicationBuilder assembles Tang's central-controller machine.
 type duplicationBuilder struct {
-	ctrl *duplication.Controller
+	agents []*proto.CacheAgent
+	ctrl   *duplication.Controller
+	mem    *memory.Module
 }
 
 func (b *duplicationBuilder) buildCaches(m *Machine) []proto.CacheSide {
-	_, sides := directoryAgents(m, false)
+	agents, sides := directoryAgents(m, false)
+	b.agents = agents
 	return sides
 }
 
@@ -83,13 +111,23 @@ func (b *duplicationBuilder) buildCtrls(m *Machine) []proto.MemSide {
 	if m.cfg.Modules != 1 {
 		panic("system: the duplication protocol centralizes everything; configure Modules = 1")
 	}
-	mem := memory.NewModule(m.space, 0, m.cfg.Lat.Memory)
+	b.mem = memory.NewModule(m.space, 0, m.cfg.Lat.Memory)
 	b.ctrl = duplication.New(duplication.Config{
 		Topo:  m.topo,
 		Space: m.space,
 		Lat:   m.cfg.Lat,
-	}, m.kernel, m.net, mem)
+	}, m.kernel, m.net, b.mem)
 	return []proto.MemSide{b.ctrl}
+}
+
+func (b *duplicationBuilder) reset(m *Machine) {
+	resetDirectoryAgents(m, b.agents, false)
+	b.mem.Reset(m.cfg.Lat.Memory)
+	b.ctrl.Reset(duplication.Config{
+		Topo:  m.topo,
+		Space: m.space,
+		Lat:   m.cfg.Lat,
+	})
 }
 
 func (b *duplicationBuilder) checkInvariants(m *Machine) error {
@@ -117,7 +155,8 @@ func (b *duplicationBuilder) checkInvariants(m *Machine) error {
 
 // writeOnceBuilder assembles Goodman's bus machine.
 type writeOnceBuilder struct {
-	sys *writeonce.System
+	sys    *writeonce.System
+	agents []*writeonce.Agent
 }
 
 func (b *writeOnceBuilder) buildCaches(m *Machine) []proto.CacheSide {
@@ -132,14 +171,28 @@ func (b *writeOnceBuilder) buildCaches(m *Machine) []proto.CacheSide {
 		Commit: m.commitHook(),
 	}, m.kernel, bus)
 	sides := make([]proto.CacheSide, m.cfg.Procs)
+	b.agents = make([]*writeonce.Agent, m.cfg.Procs)
 	for k := 0; k < m.cfg.Procs; k++ {
-		sides[k] = writeonce.NewAgent(b.sys, k, cache.New(m.cacheConfig(k)))
+		b.agents[k] = writeonce.NewAgent(b.sys, k, cache.New(m.cacheConfig(k)))
+		sides[k] = b.agents[k]
 	}
 	return sides
 }
 
 func (b *writeOnceBuilder) buildCtrls(m *Machine) []proto.MemSide {
 	return []proto.MemSide{b.sys}
+}
+
+func (b *writeOnceBuilder) reset(m *Machine) {
+	b.sys.Reset(writeonce.Config{
+		Topo:   m.topo,
+		Space:  m.space,
+		Lat:    m.cfg.Lat,
+		Commit: m.commitHook(),
+	})
+	for k, a := range b.agents {
+		a.Store().Reset(m.cacheConfig(k))
+	}
 }
 
 func (b *writeOnceBuilder) checkInvariants(m *Machine) error {
@@ -162,19 +215,37 @@ func (b *writeOnceBuilder) checkInvariants(m *Machine) error {
 
 // softwareBuilder assembles the §2.2 static machine.
 type softwareBuilder struct {
-	ctrls []*software.Controller
+	agents []*software.Agent
+	ctrls  []*software.Controller
+	mems   []*memory.Module
+}
+
+func softwareAgentConfig(m *Machine, k int) software.AgentConfig {
+	return software.AgentConfig{
+		Index:  k,
+		Topo:   m.topo,
+		Lat:    m.cfg.Lat,
+		Commit: m.commitHook(),
+	}
+}
+
+func softwareCtrlConfig(m *Machine, j int) software.Config {
+	return software.Config{
+		Module: j,
+		Topo:   m.topo,
+		Space:  m.space,
+		Lat:    m.cfg.Lat,
+		Commit: m.commitHook(),
+	}
 }
 
 func (b *softwareBuilder) buildCaches(m *Machine) []proto.CacheSide {
 	sides := make([]proto.CacheSide, m.cfg.Procs)
+	b.agents = make([]*software.Agent, m.cfg.Procs)
 	for k := 0; k < m.cfg.Procs; k++ {
 		store := cache.New(m.cacheConfig(k))
-		sides[k] = software.NewAgent(software.AgentConfig{
-			Index:  k,
-			Topo:   m.topo,
-			Lat:    m.cfg.Lat,
-			Commit: m.commitHook(),
-		}, m.kernel, m.net, store)
+		b.agents[k] = software.NewAgent(softwareAgentConfig(m, k), m.kernel, m.net, store)
+		sides[k] = b.agents[k]
 	}
 	return sides
 }
@@ -182,19 +253,26 @@ func (b *softwareBuilder) buildCaches(m *Machine) []proto.CacheSide {
 func (b *softwareBuilder) buildCtrls(m *Machine) []proto.MemSide {
 	out := make([]proto.MemSide, m.cfg.Modules)
 	b.ctrls = make([]*software.Controller, m.cfg.Modules)
+	b.mems = make([]*memory.Module, m.cfg.Modules)
 	for j := 0; j < m.cfg.Modules; j++ {
 		mem := memory.NewModule(m.space, j, m.cfg.Lat.Memory)
-		c := software.New(software.Config{
-			Module: j,
-			Topo:   m.topo,
-			Space:  m.space,
-			Lat:    m.cfg.Lat,
-			Commit: m.commitHook(),
-		}, m.kernel, m.net, mem)
+		c := software.New(softwareCtrlConfig(m, j), m.kernel, m.net, mem)
+		b.mems[j] = mem
 		b.ctrls[j] = c
 		out[j] = c
 	}
 	return out
+}
+
+func (b *softwareBuilder) reset(m *Machine) {
+	for k, a := range b.agents {
+		a.Store().Reset(m.cacheConfig(k))
+		a.Reset(softwareAgentConfig(m, k))
+	}
+	for j, c := range b.ctrls {
+		b.mems[j].Reset(m.cfg.Lat.Memory)
+		c.Reset(softwareCtrlConfig(m, j))
+	}
 }
 
 func (b *softwareBuilder) checkInvariants(m *Machine) error {

@@ -59,6 +59,13 @@ func newDMADevice(m *Machine, idx int) *dmaDevice {
 	return d
 }
 
+// reset restores the device to its freshly-constructed state under the
+// machine's current config, keeping the network attachment.
+func (d *dmaDevice) reset() {
+	d.random.Reseed(d.m.cfg.Seed^0xD3A, uint64(d.idx)+1000)
+	d.pend = nil
+}
+
 // oracleProc returns the device's processor id for oracle bookkeeping
 // (devices observe the same coherence rules as processors).
 func (d *dmaDevice) oracleProc() int { return d.m.cfg.Procs + d.idx }

@@ -16,13 +16,20 @@ type copyView struct {
 	frame    cache.Frame
 }
 
-// gatherCopies snapshots every valid copy of block b across the caches.
+// gatherCopies snapshots every valid copy of block b across the caches
+// into the machine's scratch buffer — the checkers call it once per
+// block per run, and each caller is done with the previous snapshot
+// before asking for the next. Empty results are nil.
 func (m *Machine) gatherCopies(b addr.Block) []copyView {
-	var out []copyView
+	out := m.copyScratch[:0]
 	for k, cs := range m.caches {
 		if f := cs.Store().Lookup(b); f != nil {
 			out = append(out, copyView{cacheIdx: k, frame: *f})
 		}
+	}
+	m.copyScratch = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -32,23 +39,27 @@ func (m *Machine) gatherCopies(b addr.Block) []copyView {
 // and holds the latest committed version; with no modified copy, memory
 // holds the latest committed version and every clean copy matches memory.
 func (m *Machine) checkDataInvariants(b addr.Block, copies []copyView, memVersion uint64) error {
-	var modified []copyView
+	modified := 0
+	var firstMod copyView
 	for _, cv := range copies {
 		if cv.frame.Modified {
-			modified = append(modified, cv)
+			if modified == 0 {
+				firstMod = cv
+			}
+			modified++
 		}
 	}
-	if len(modified) > 1 {
-		return fmt.Errorf("%v: %d modified copies", b, len(modified))
+	if modified > 1 {
+		return fmt.Errorf("%v: %d modified copies", b, modified)
 	}
-	if len(modified) == 1 {
+	if modified == 1 {
 		if len(copies) != 1 {
 			return fmt.Errorf("%v: modified copy in cache %d coexists with %d other copies",
-				b, modified[0].cacheIdx, len(copies)-1)
+				b, firstMod.cacheIdx, len(copies)-1)
 		}
-		if m.oracle != nil && modified[0].frame.Data != m.oracle.Latest(b) {
+		if m.oracle != nil && firstMod.frame.Data != m.oracle.Latest(b) {
 			return fmt.Errorf("%v: modified copy holds version %d, latest committed is %d",
-				b, modified[0].frame.Data, m.oracle.Latest(b))
+				b, firstMod.frame.Data, m.oracle.Latest(b))
 		}
 		return nil
 	}
@@ -130,14 +141,19 @@ func checkFullMapInvariants(m *Machine, ctrls []*fullmap.Controller) error {
 		if err := m.checkDataInvariants(b, copies, ctrl.MemVersion(b)); err != nil {
 			return err
 		}
-		holders := map[int]bool{}
-		for _, h := range ctrl.Holders(b) {
-			holders[h] = true
+		holders := ctrl.Holders(b)
+		holds := func(k int) bool {
+			for _, h := range holders {
+				if h == k {
+					return true
+				}
+			}
+			return false
 		}
 		// Every copy must be a known holder (exactness of the map). Extra
 		// presence bits can only exist when clean ejects are disabled.
 		for _, cv := range copies {
-			if !holders[cv.cacheIdx] {
+			if !holds(cv.cacheIdx) {
 				return fmt.Errorf("%v: cache %d holds a copy the map does not record", b, cv.cacheIdx)
 			}
 		}

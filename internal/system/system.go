@@ -201,6 +201,13 @@ type builder interface {
 	buildCaches(m *Machine) []proto.CacheSide
 	// buildCtrls constructs all memory controllers (attached).
 	buildCtrls(m *Machine) []proto.MemSide
+	// reset restores every component the builder constructed to its
+	// freshly-constructed state under m's current (already updated)
+	// config, without re-attaching anything to the network. The machine
+	// shape — protocol, topology, address space, cache geometry — must be
+	// unchanged since construction; value parameters (latencies, seeds,
+	// policies, hooks) are re-derived from m.cfg.
+	reset(m *Machine)
 	// checkInvariants verifies protocol-specific global invariants at
 	// quiescence.
 	checkInvariants(m *Machine) error
@@ -222,6 +229,12 @@ type Machine struct {
 	oracle *Oracle
 	strict bool // strict (linearizability) oracle mode; see Oracle
 
+	// drivers holds one procDriver per processor, grown on first use and
+	// reused across runs (and across resets of a pooled machine), so
+	// issuing a processor's reference stream allocates nothing after the
+	// first run.
+	drivers []*procDriver
+
 	nextVersion uint64
 	completed   int
 	issuedRefs  uint64
@@ -230,6 +243,8 @@ type Machine struct {
 
 	latencies       stats.Histogram // per-reference latency, cycles
 	sharedLatencies stats.Histogram // latency of shared references only
+
+	copyScratch []copyView // gatherCopies buffer, reused across blocks and runs
 
 	obsLatency *obs.Histogram // "sys/ref_latency_cycles" (nil when Obs off)
 }
@@ -317,6 +332,83 @@ func newMachine(cfg Config, gen workload.Generator, kernel *sim.Kernel, oracle *
 	return m, nil
 }
 
+// poolable reports whether cfg can run on a pooled machine. The three
+// excluded features bind external recorders or wrappers at construction
+// time (the obs recorder threads through every component, the trace
+// writer wraps the network, and bug hooks rewire controller defenses),
+// so configs using them rebuild the machine instead. None of them appear
+// on the sweep hot path unless instrumentation was requested.
+func poolable(cfg Config) bool {
+	return cfg.Obs == nil && cfg.TraceWriter == nil && cfg.CoreHooks == nil
+}
+
+// machineShape is the structural identity of a machine: the parameters
+// that decide what gets constructed and wired (component counts, array
+// sizes, network topology, attachment graph). Two configs with equal
+// shapes differ only in value parameters — seeds, latencies, policies,
+// oracle on/off — which Machine.reset re-derives without rebuilding.
+type machineShape struct {
+	protocol Protocol
+	procs    int
+	modules  int
+	sets     int
+	assoc    int
+	blocks   int
+	net      NetKind
+	dma      int
+	tb       bool // translation buffer present (size > 0)
+}
+
+// shapeOf computes the shape of cfg over an address space of blocks
+// blocks.
+func shapeOf(cfg Config, blocks int) machineShape {
+	return machineShape{
+		protocol: cfg.Protocol,
+		procs:    cfg.Procs,
+		modules:  cfg.Modules,
+		sets:     cfg.CacheSets,
+		assoc:    cfg.CacheAssoc,
+		blocks:   blocks,
+		net:      cfg.Net,
+		dma:      cfg.DMA.Devices,
+		tb:       cfg.TranslationBufferSize > 0,
+	}
+}
+
+// reset restores a pooled machine to its freshly-constructed state under
+// cfg, which must be poolable, validated, and shape-equal to the
+// machine's construction config (the Runner guarantees all three). The
+// caller owns the kernel and resets it separately. Reset runs are
+// byte-identical to fresh machines — pinned by TestRunnerReuse and the
+// randomized property test.
+func (m *Machine) reset(cfg Config, gen workload.Generator, oracle *Oracle) {
+	m.cfg = cfg
+	m.gen = gen
+	m.oracle = oracle
+	m.strict = oracle != nil && cfg.Net != OmegaNet && cfg.NetJitter == 0
+	switch n := m.net.(type) {
+	case *network.Crossbar:
+		n.Reset(cfg.NetLatency, cfg.NetJitter, cfg.Seed^0xA5A5)
+	case *network.Bus:
+		n.Reset(cfg.BusCycle, cfg.NetLatency)
+	case *network.Omega:
+		n.Reset(maxTime(1, cfg.NetLatency))
+	default:
+		panic(fmt.Sprintf("system: cannot reset network %T — rebuild instead", m.net))
+	}
+	m.bld.reset(m)
+	for _, d := range m.dmas {
+		d.reset()
+	}
+	m.nextVersion = 0
+	m.completed = 0
+	m.issuedRefs = 0
+	m.errs = m.errs[:0]
+	m.refDone = nil
+	m.latencies.Reset()
+	m.sharedLatencies.Reset()
+}
+
 // trackName maps a network node id to its observability track name,
 // following the topology's layout: caches first, then controllers, then
 // DMA devices.
@@ -401,9 +493,17 @@ func (m *Machine) Run(refsPerProc int) (Results, error) {
 }
 
 // issue chains one processor's references through a procDriver: each new
-// reference is issued when the previous one completes.
+// reference is issued when the previous one completes. Drivers are
+// created on first use and reused by later runs — issue() reinitializes
+// every per-reference field, so a reused driver behaves identically to a
+// fresh one.
 func (m *Machine) issue(p, remaining int) {
-	newProcDriver(m, p, remaining).issue()
+	for len(m.drivers) <= p {
+		m.drivers = append(m.drivers, newProcDriver(m, len(m.drivers), 0))
+	}
+	d := m.drivers[p]
+	d.remaining = remaining
+	d.issue()
 }
 
 // procDriver drives one simulated processor through its reference

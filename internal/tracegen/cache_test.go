@@ -1,0 +1,170 @@
+package tracegen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twobit/internal/addr"
+	"twobit/internal/workload"
+)
+
+func cacheSpec(procs int, seed uint64) Spec {
+	return Resolve(Spec{Name: "kv-serving"}).At(procs, 0.2, 0.4, seed)
+}
+
+// drain pulls refsPerProc references per processor from gen in the
+// round-robin order the simulator's processors approximate.
+func drain(gen workload.Generator, procs, refsPerProc int) [][]addr.Ref {
+	out := make([][]addr.Ref, procs)
+	for i := 0; i < refsPerProc; i++ {
+		for p := 0; p < procs; p++ {
+			out[p] = append(out[p], gen.Next(p))
+		}
+	}
+	return out
+}
+
+// TestCachedGeneratorMatchesLive pins the cache's core contract: the
+// replayed segment — on both the miss path (synthesize + store) and
+// the hit path (reuse) — yields exactly the references and address
+// space that live generation does.
+func TestCachedGeneratorMatchesLive(t *testing.T) {
+	const procs, refs = 4, 500
+	spec := cacheSpec(procs, 99)
+	want := drain(New(spec), procs, refs)
+	dir := t.TempDir()
+
+	for _, pass := range []string{"miss", "hit"} {
+		gen, err := CachedGenerator(dir, spec, refs)
+		if err != nil {
+			t.Fatalf("%s: %v", pass, err)
+		}
+		if gen.Blocks() != spec.Blocks() {
+			t.Errorf("%s: Blocks() = %d, live spec says %d", pass, gen.Blocks(), spec.Blocks())
+		}
+		got := drain(gen, procs, refs)
+		for p := range want {
+			for i := range want[p] {
+				if got[p][i] != want[p][i] {
+					t.Fatalf("%s: proc %d ref %d = %+v, live %+v", pass, p, i, got[p][i], want[p][i])
+				}
+			}
+		}
+		if err := CloseGenerator(gen); err != nil {
+			t.Fatalf("%s: close: %v", pass, err)
+		}
+	}
+
+	// Exactly one segment, no leftover temporaries.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || filepath.Ext(entries[0].Name()) != ".mtrc2" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("cache dir holds %v, want one .mtrc2 segment", names)
+	}
+}
+
+// TestCacheHitByteIdentical pins that a cached segment's bytes are
+// exactly what regeneration produces, so a hit can never replay a
+// different trace than a miss would have written.
+func TestCacheHitByteIdentical(t *testing.T) {
+	spec := cacheSpec(2, 7)
+	dir := t.TempDir()
+	path, hit, err := EnsureSegment(dir, spec, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first EnsureSegment reported a hit")
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	path2, hit, err := EnsureSegment(dir, spec, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || path2 != path {
+		t.Fatalf("regeneration: hit=%v path=%s, want miss at %s", hit, path2, path)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("regenerated segment differs from the original bytes")
+	}
+	if _, hit, err = EnsureSegment(dir, spec, 300); err != nil || !hit {
+		t.Fatalf("third EnsureSegment: hit=%v err=%v, want clean hit", hit, err)
+	}
+}
+
+// TestCacheKeySeparatesSegments pins that the key covers the axes that
+// change a segment's content: spec fields (seed, procs) and the
+// reference count each map to distinct files.
+func TestCacheKeySeparatesSegments(t *testing.T) {
+	dir := t.TempDir()
+	base := cacheSpec(2, 7)
+	paths := map[string]string{}
+	for _, c := range []struct {
+		label string
+		spec  Spec
+		refs  int
+	}{
+		{"base", base, 300},
+		{"seed", cacheSpec(2, 8), 300},
+		{"procs", cacheSpec(4, 7), 300},
+		{"refs", base, 400},
+	} {
+		p, err := SegmentPath(dir, c.spec, c.refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for prev, pp := range paths {
+			if pp == p {
+				t.Fatalf("%s and %s share segment path %s", c.label, prev, p)
+			}
+		}
+		paths[c.label] = p
+	}
+}
+
+// TestCacheSelfHealsCorruptEntry pins the recovery path: a truncated
+// or foreign file at the keyed name is regenerated, not replayed.
+func TestCacheSelfHealsCorruptEntry(t *testing.T) {
+	const procs, refs = 2, 200
+	spec := cacheSpec(procs, 3)
+	dir := t.TempDir()
+	path, err := SegmentPath(dir, spec, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := CachedGenerator(dir, spec, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGenerator(gen)
+	want := drain(New(spec), procs, refs)
+	got := drain(gen, procs, refs)
+	for p := range want {
+		for i := range want[p] {
+			if got[p][i] != want[p][i] {
+				t.Fatalf("after heal: proc %d ref %d = %+v, live %+v", p, i, got[p][i], want[p][i])
+			}
+		}
+	}
+}

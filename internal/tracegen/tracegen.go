@@ -51,7 +51,7 @@ type Spec struct {
 	// DiurnalPeriod > 0 modulates SharedFrac with a triangle wave of
 	// that period (in references per processor): traffic mix swings
 	// between (1−DiurnalAmp) and (1+DiurnalAmp) times the base.
-	DiurnalPeriod int `json:"diurnal_period,omitempty"`
+	DiurnalPeriod int     `json:"diurnal_period,omitempty"`
 	DiurnalAmp    float64 `json:"diurnal_amp,omitempty"`
 
 	// FlashEvery > 0 starts a flash-crowd episode every FlashEvery

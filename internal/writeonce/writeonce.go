@@ -54,6 +54,25 @@ func NewSystem(cfg Config, kernel *sim.Kernel, bus *network.Bus) *System {
 	return s
 }
 
+// Reset restores the bus system and its registered agents to their
+// freshly-constructed state under cfg (Topo and Space must match
+// construction), reusing the memory modules. Agents' cache stores are
+// reset separately by their owner.
+func (s *System) Reset(cfg Config) {
+	if cfg.Topo != s.cfg.Topo || cfg.Space != s.cfg.Space {
+		panic("writeonce: Reset shape differs from construction")
+	}
+	s.cfg = cfg
+	s.stats = proto.CtrlStats{}
+	for _, m := range s.mem {
+		m.Reset(cfg.Lat.Memory)
+	}
+	for _, a := range s.agents {
+		a.stats = proto.CacheSideStats{}
+		a.busy = false
+	}
+}
+
 // CtrlStats implements proto.MemSide.
 func (s *System) CtrlStats() *proto.CtrlStats { return &s.stats }
 

@@ -27,23 +27,51 @@ for f in BENCH_*.json; do
     [ -f "$f" ] && cp "$f" "$PREV/$f"
 done
 
-echo "==> go test -bench BenchmarkSweep -benchtime $BENCHTIME"
-go test -run '^$' -bench '^BenchmarkSweep$' -benchtime "$BENCHTIME" . | tee "$RAW"
+echo "==> go test -bench BenchmarkSweep -benchtime $BENCHTIME -benchmem"
+go test -run '^$' -bench '^BenchmarkSweep$' -benchtime "$BENCHTIME" -benchmem . | tee "$RAW"
 
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
-awk -v commit="$COMMIT" -v date="$DATE" '
+# Allocation profile of the pooled sweep path: a fixed 10-iteration run
+# (enough to amortize first-campaign pool construction) with the heap
+# profiler on, reduced to the top-10 alloc_space functions. The pooled
+# machine graph promises that per-run component construction is gone;
+# the named constructors appearing here again means the pool broke.
+PROFDIR="$(mktemp -d)"
+trap 'rm -f "$RAW"; rm -rf "$PREV" "$PROFDIR"' EXIT
+echo "==> alloc profile: go test -bench BenchmarkSweep/workers=1 -benchtime 10x -memprofile"
+go test -run '^$' -bench '^BenchmarkSweep/workers=1$' -benchtime 10x -benchmem \
+    -memprofile "$PROFDIR/sweep.prof" -o "$PROFDIR/sweep.test" . > /dev/null
+go tool pprof -top -nodecount=10 -sample_index=alloc_space \
+    "$PROFDIR/sweep.test" "$PROFDIR/sweep.prof" 2>/dev/null > "$PROFDIR/top.txt"
+TOPALLOC="$(awk '/%.*%.*%/ && $1 ~ /B$/ { name = $6; for (i = 7; i <= NF; i++) name = name " " $i; printf "%s %s\n", $2, name }' "$PROFDIR/top.txt")"
+if [ -z "$TOPALLOC" ]; then
+    echo "bench.sh: no allocators parsed from the sweep profile" >&2
+    exit 1
+fi
+echo "$TOPALLOC"
+# Constructors the pooled path must never show at steady state.
+for banned in 'cache\.New' 'memory\.NewModule' 'Serializer\)\.admit'; do
+    if echo "$TOPALLOC" | grep -Eq "$banned"; then
+        echo "bench.sh: pooled-path regression: $banned is back in the top-10 allocators" >&2
+        exit 1
+    fi
+done
+
+awk -v commit="$COMMIT" -v date="$DATE" -v topalloc="$TOPALLOC" '
 /^BenchmarkSweep\/workers=/ {
     split($1, parts, "=")
     split(parts[2], w, "-")
     for (i = 2; i <= NF; i++) {
         if ($i == "runs/s") { rate[w[1]] = $(i - 1); order[++n] = w[1] }
+        if ($i == "allocs/op") allocs[w[1]] = $(i - 1)
     }
 }
 END {
     if (n == 0) { print "bench.sh: no runs/s metrics parsed" > "/dev/stderr"; exit 1 }
     if (rate["1"] == "") { print "bench.sh: no workers=1 rate for the efficiency curve" > "/dev/stderr"; exit 1 }
+    if (allocs["1"] == "") { print "bench.sh: no allocs/op parsed (benchmem off?)" > "/dev/stderr"; exit 1 }
     printf "{\n  \"benchmark\": \"BenchmarkSweep\",\n"
     printf "  \"metric\": \"runs_per_second\",\n"
     printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
@@ -60,7 +88,25 @@ END {
         k = order[i]
         printf "    \"%s\": %.4f%s\n", k, rate[k] / (k * rate["1"]), (i < n ? "," : "")
     }
-    printf "  }\n}\n"
+    printf "  },\n"
+    # Allocations per campaign run, per worker width. benchdiff treats
+    # the allocs.* grid as lower-is-better with the standard tolerance:
+    # scheduler and GC jitter move the count a little, a reintroduced
+    # per-run construction multiplies it.
+    printf "  \"allocs\": {\n"
+    for (i = 1; i <= n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], allocs[order[i]], (i < n ? "," : "")
+    }
+    printf "  },\n"
+    # Top-10 alloc_space functions of the profiled workers=1 pass —
+    # informational strings, invisible to the benchdiff gate.
+    nt = split(topalloc, lines, "\n")
+    printf "  \"top_allocators\": [\n"
+    for (i = 1; i <= nt; i++) {
+        gsub(/\\/, "\\\\", lines[i]); gsub(/"/, "\\\"", lines[i])
+        printf "    \"%s\"%s\n", lines[i], (i < nt ? "," : "")
+    }
+    printf "  ]\n}\n"
 }' "$RAW" > "$OUT"
 
 echo "==> wrote $OUT"
@@ -73,7 +119,7 @@ cat "$OUT"
 # produced it.
 KERNEL_OUT=BENCH_kernel.json
 KERNEL_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$KERNEL_RAW"; rm -rf "$PREV"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW"; rm -rf "$PREV" "$PROFDIR"' EXIT
 
 echo "==> go test -bench BenchmarkKernel|BenchmarkBroadcastFanout -benchmem"
 go test -run '^$' -bench '^(BenchmarkKernel|BenchmarkBroadcastFanout)$' -benchmem -benchtime 20000x . | tee "$KERNEL_RAW"
@@ -115,7 +161,7 @@ cat "$KERNEL_OUT"
 # every simulation pays) and on (the marginal cost of measuring).
 OBS_OUT=BENCH_obs.json
 OBS_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW"; rm -rf "$PREV"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW"; rm -rf "$PREV" "$PROFDIR"' EXIT
 
 echo "==> go test -bench BenchmarkObs(Disabled|Enabled) -benchmem"
 go test -run '^$' -bench '^BenchmarkObs(Disabled|Enabled)$' -benchmem -benchtime 2000000x . | tee "$OBS_RAW"
@@ -148,7 +194,7 @@ cat "$OBS_OUT"
 # (the sweep campaign configuration).
 SPANS_OUT=BENCH_spans.json
 SPANS_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW"; rm -rf "$PREV"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW"; rm -rf "$PREV" "$PROFDIR"' EXIT
 
 echo "==> go test -bench BenchmarkSpans(Disabled|Enabled) -benchmem"
 go test -run '^$' -bench '^BenchmarkSpans(Disabled|Enabled)$' -benchmem -benchtime 2000000x . | tee "$SPANS_RAW"
@@ -182,7 +228,7 @@ cat "$SPANS_OUT"
 # gate before it can land.
 MCHECK_OUT=BENCH_mcheck.json
 MCHECK_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW" "$MCHECK_RAW"; rm -rf "$PREV"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW" "$MCHECK_RAW"; rm -rf "$PREV" "$PROFDIR"' EXIT
 
 echo "==> go test -bench BenchmarkMCheck ./internal/mcheck"
 go test -run '^$' -bench '^BenchmarkMCheck$' -benchtime 5x ./internal/mcheck | tee "$MCHECK_RAW"
@@ -210,7 +256,7 @@ cat "$MCHECK_OUT"
 # replay measured against the in-memory replay it must keep up with.
 TRACE_OUT=BENCH_trace.json
 TRACE_RAW="$(mktemp)"
-trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW" "$MCHECK_RAW" "$TRACE_RAW"; rm -rf "$PREV"' EXIT
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW" "$MCHECK_RAW" "$TRACE_RAW"; rm -rf "$PREV" "$PROFDIR"' EXIT
 
 echo "==> go test -bench BenchmarkTrace(Synthesize|Decode|Replay)"
 go test -run '^$' -bench '^BenchmarkTrace(Synthesize|Decode|Replay)$' -benchtime 10x . | tee "$TRACE_RAW"

@@ -88,6 +88,42 @@ else
     echo "    (efficiency floor skipped: $NCPU CPU(s); byte-identity covered above)"
 fi
 
+echo "==> pooled-runner smoke (heterogeneous shapes + trace cache)"
+# Every worker owns one pooled machine graph and resets it between runs;
+# a plan that alternates protocols, interconnects, processor counts and
+# scenario traces forces those resets across structurally different
+# shapes. The cold workers=1 store is the canon; the sharded 4-worker
+# pass then re-executes the same plan through freshly pooled runners
+# against a warm trace cache, and the merge must be byte-identical —
+# any state leaking across a reset, or a cached segment diverging from
+# live synthesis, shows up as a cmp failure here.
+cat > "$SMOKE/poolplan.json" <<EOF4
+{
+  "name": "poolsmoke",
+  "protocols": ["two-bit", "full-map", "classical", "write-once"],
+  "qs": [0.1],
+  "ws": [0.3],
+  "procs": [2, 4],
+  "replicates": 1,
+  "refs_per_proc": 200,
+  "root_seed": 23,
+  "scenarios": [{"name": "kv-serving"}, {"name": "false-sharing"}],
+  "trace_cache": "$SMOKE/tracecache"
+}
+EOF4
+go run ./cmd/sweep -plan "$SMOKE/poolplan.json" -workers 1 -out "$SMOKE/pool_w1.jsonl" -quiet > /dev/null
+[ -n "$(ls "$SMOKE/tracecache" 2>/dev/null)" ] || {
+    echo "check.sh: scenario runs left the trace cache empty" >&2
+    exit 1
+}
+go run ./cmd/sweep -plan "$SMOKE/poolplan.json" -sharded -workers 4 \
+    -shards "$SMOKE/poolshards" -quiet > /dev/null
+go run ./cmd/sweep -plan "$SMOKE/poolplan.json" -merge \
+    -shards "$SMOKE/poolshards" -out "$SMOKE/pool_w4.jsonl" -quiet > /dev/null
+cmp "$SMOKE/pool_w1.jsonl" "$SMOKE/pool_w4.jsonl" || {
+    echo "check.sh: pooled sharded store differs from the workers=1 canonical store" >&2
+    exit 1
+}
 
 echo "==> obs zero-alloc guard"
 # The disabled instrumentation path must not allocate: one allocation per
