@@ -25,6 +25,7 @@ import (
 	"twobit/internal/obs"
 	"twobit/internal/proto"
 	"twobit/internal/sim"
+	"twobit/internal/stats"
 	"twobit/internal/sweep"
 	"twobit/internal/tracegen"
 	"twobit/internal/workload"
@@ -687,4 +688,92 @@ func BenchmarkSpansDisabled(b *testing.B) {
 // configuration): the marginal cost of latency attribution.
 func BenchmarkSpansEnabled(b *testing.B) {
 	spanBenchBody(b, obs.New(0).EnableSpans(0))
+}
+
+// tsBenchBody is the shared loop for the time-series pair: one reference
+// worth of coherence-observatory work — a sum-window bump, a queue-depth
+// peak, a census gauge move, and the contention profiler's three touches
+// — against whatever recorder it is handed, with sim time advancing so
+// windows actually roll over.
+func tsBenchBody(b *testing.B, rec *obs.Recorder) {
+	var now sim.Time
+	rec.SetClock(func() sim.Time { return now })
+	refs := rec.Windows().Series("sys/refs", obs.SeriesSum)
+	depth := rec.Windows().Series("ctrl0/queue_depth", obs.SeriesMax)
+	census := rec.Windows().Series("dir/present_m", obs.SeriesGauge)
+	ct := rec.Contention()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = sim.Time(i >> 2)
+		refs.Inc()
+		depth.Observe(uint64(i & 7))
+		census.GaugeAdd(int64(i&1)*2 - 1)
+		ct.Ref(uint64(i & 255))
+		ct.Write(uint64(i&255), i&7, i&3)
+		ct.Invalidation(uint64(i & 255))
+	}
+}
+
+// BenchmarkTimeSeriesDisabled (E-obsts) measures the windowed
+// time-series and contention hooks compiled in but switched off: every
+// call must dissolve into a nil check, and the scripts/check.sh gate
+// fails the build if this path allocates.
+func BenchmarkTimeSeriesDisabled(b *testing.B) {
+	tsBenchBody(b, nil)
+}
+
+// BenchmarkTimeSeriesEnabled is the same body against a recorder with
+// windows and the contention profiler live: the marginal cost of the
+// coherence observatory per instrumented reference.
+func BenchmarkTimeSeriesEnabled(b *testing.B) {
+	rec := obs.New(0)
+	rec.EnableWindows(64)
+	rec.EnableContention(64)
+	tsBenchBody(b, rec)
+}
+
+// BenchmarkTopKUpdate isolates the Space-Saving sketch behind the
+// contention profiler: steady-state updates against a full sketch, where
+// every unseen key evicts the current minimum — the worst case, since the
+// eviction scan is O(K).
+func BenchmarkTopKUpdate(b *testing.B) {
+	sk := stats.NewTopK(64)
+	for k := uint64(0); k < 64; k++ {
+		sk.Observe(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 3/4 hits on tracked keys, 1/4 evictions.
+		sk.Observe(uint64(i) & 255)
+	}
+	benchObsSink += uint64(sk.Len())
+}
+
+// BenchmarkTimeSeriesMachine runs the same machine with the observatory
+// off and on (windows + contention profiler), so the end-to-end overhead
+// of windowed recording is tracked where it matters; scripts/bench.sh
+// derives BENCH_obsts.json's overhead_pct from this pair.
+func BenchmarkTimeSeriesMachine(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run("windows="+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig(TwoBit, 4)
+				cfg.Oracle = false
+				if on {
+					cfg.Obs = obs.New(0)
+					cfg.Obs.EnableWindows(obs.DefaultWindowWidth)
+					cfg.Obs.EnableContention(64)
+				}
+				res := benchRun(b, cfg, benchGen(4, 0.1, 0.3, 7), 2000)
+				benchObsSink += res.Refs
+			}
+		})
+	}
 }

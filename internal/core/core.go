@@ -139,7 +139,12 @@ type Controller struct {
 	obsTxn        *obs.Histogram  // "ctrl<j>/txn_cycles" begin → done
 	obsBroadcasts *obs.Counter    // "ctrl<j>/broadcasts"
 	obsStateTo    [4]*obs.Counter // "ctrl<j>/dir_to_*" transition counts
-	sp            *obs.SpanRecorder
+	tsQueue       *obs.TimeSeries // "ctrl<j>/queue_depth" windowed peak
+	// tsCensus is the machine-wide directory-state census, indexed by
+	// directory.State: each controller moves its blocks between the
+	// shared obs.DirStateSeriesNames gauges as it transitions them.
+	tsCensus [4]*obs.TimeSeries
+	sp       *obs.SpanRecorder
 }
 
 type txnStart struct {
@@ -182,6 +187,14 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 		c.obsBroadcasts = cfg.Obs.Counter(prefix + "/broadcasts")
 		for s := range c.obsStateTo {
 			c.obsStateTo[s] = cfg.Obs.Counter(prefix + "/" + stateCounterSuffix[s])
+		}
+		if ts := cfg.Obs.Windows(); ts != nil {
+			c.tsQueue = ts.Series(prefix+"/queue_depth", obs.SeriesMax)
+			for s := range c.tsCensus {
+				c.tsCensus[s] = ts.Series(obs.DirStateSeriesNames[s], obs.SeriesGauge)
+			}
+			// Every block this module owns starts Absent.
+			c.tsCensus[directory.Absent].GaugeAdd(int64(cfg.Space.BlocksInModule(cfg.Module)))
 		}
 	}
 	c.sp = cfg.Obs.Spans()
@@ -251,6 +264,8 @@ func (c *Controller) setState(b addr.Block, s directory.State) {
 	if c.rec != nil {
 		if old := c.dir.Get(c.local(b)); old != s {
 			c.obsStateTo[s].Inc()
+			c.tsCensus[old].GaugeAdd(-1)
+			c.tsCensus[s].GaugeAdd(1)
 			c.rec.Emit(c.comp, stateEventNames[s], int64(b), int64(old))
 		}
 	}
@@ -300,6 +315,7 @@ func (c *Controller) submit(src network.NodeID, m msg.Message) {
 	c.ser.Submit(proto.Pending{Src: src, M: m})
 	c.stats.NoteQueue(c.ser.QueuedLen())
 	c.obsQueue.Observe(uint64(c.ser.QueuedLen()))
+	c.tsQueue.Observe(uint64(c.ser.QueuedLen()))
 }
 
 // handlePut routes a data transfer to the transaction awaiting it, or

@@ -39,8 +39,10 @@ type Config struct {
 	// controller (uncached I/O); may be nil.
 	Commit proto.CommitFunc
 	// Obs is the observability recorder; the full-map controller uses it
-	// only for transaction-span attribution (it registers no metric
-	// series of its own). nil costs nothing.
+	// for transaction-span attribution and, when windows are enabled,
+	// the directory-state census gauges (through the two-bit
+	// abstraction, so the series align with internal/core's). nil costs
+	// nothing.
 	Obs *obs.Recorder
 }
 
@@ -62,6 +64,10 @@ type Controller struct {
 	activeSince map[addr.Block]txnStart
 
 	sp *obs.SpanRecorder
+	// tsCensus is the machine-wide directory-state census, indexed by
+	// the two-bit directory.State the exact map projects to; all nil
+	// unless windows were enabled on the recorder.
+	tsCensus [4]*obs.TimeSeries
 }
 
 type txnStart struct {
@@ -93,6 +99,13 @@ func New(cfg Config, kernel *sim.Kernel, net network.Network, mem *memory.Module
 		activeSince: make(map[addr.Block]txnStart),
 	}
 	c.sp = cfg.Obs.Spans()
+	if ts := cfg.Obs.Windows(); ts != nil {
+		for s := range c.tsCensus {
+			c.tsCensus[s] = ts.Series(obs.DirStateSeriesNames[s], obs.SeriesGauge)
+		}
+		// Every block this module owns starts Absent.
+		c.tsCensus[directory.Absent].GaugeAdd(int64(cfg.Space.BlocksInModule(cfg.Module)))
+	}
 	c.ser = proto.NewSerializer(cfg.Mode, c.begin)
 	c.calls = proto.NewCallQueue(kernel, c.service)
 	net.Attach(c.node(), c)
@@ -145,6 +158,28 @@ func (c *Controller) node() network.NodeID                   { return c.cfg.Topo
 func (c *Controller) local(b addr.Block) int                 { return int(c.cfg.Space.LocalIndex(b)) }
 func (c *Controller) send(dst network.NodeID, m msg.Message) { c.net.Send(c.node(), dst, m) }
 
+// censusPre samples block li's two-bit state before a directory
+// mutation; censusMoved, called after, moves the block between the
+// census gauges if the projected state changed. The pair brackets each
+// mutation cluster because the exact map has no single transition
+// choke point the way core's setState is.
+func (c *Controller) censusPre(li int) directory.State {
+	if c.tsCensus[directory.Absent] == nil {
+		return directory.Absent
+	}
+	return c.dir.GlobalState(li)
+}
+
+func (c *Controller) censusMoved(li int, old directory.State) {
+	if c.tsCensus[directory.Absent] == nil {
+		return
+	}
+	if s := c.dir.GlobalState(li); s != old {
+		c.tsCensus[old].GaugeAdd(-1)
+		c.tsCensus[s].GaugeAdd(1)
+	}
+}
+
 // Deliver implements network.Handler.
 func (c *Controller) Deliver(src network.NodeID, m msg.Message) {
 	if m.Kind == msg.KindRequest || m.Kind == msg.KindMRequest {
@@ -177,7 +212,10 @@ func (c *Controller) handlePut(m msg.Message) {
 			// The data came from a racing eviction, not a PURGE answer:
 			// the sender's copy is gone, so its presence bit clears here
 			// (the deleted EJECT would have done it).
-			c.dir.SetPresent(c.local(m.Block), m.Cache, false)
+			li := c.local(m.Block)
+			pre := c.censusPre(li)
+			c.dir.SetPresent(li, m.Cache, false)
+			c.censusMoved(li, pre)
 		}
 		onData(m.Cache, m.Data)
 		return
@@ -229,7 +267,9 @@ func (c *Controller) dmaRead(p proto.Pending) {
 		c.purge(a, msg.Read, owner, func(_ int, data uint64) {
 			c.kernel.After(c.cfg.Lat.Memory, func() {
 				c.mem.Write(a, data)
+				pre := c.censusPre(li)
 				c.dir.SetModified(li, false)
+				c.censusMoved(li, pre)
 				reply(data)
 				c.done(a)
 			})
@@ -257,7 +297,9 @@ func (c *Controller) dmaWrite(p proto.Pending) {
 				c.cfg.Commit(a, version)
 			}
 			c.send(p.Src, msg.Message{Kind: msg.KindGet, Block: a, Cache: p.M.Cache, Data: version})
+			pre := c.censusPre(li)
 			c.dir.Clear(li)
+			c.censusMoved(li, pre)
 			c.done(a)
 		})
 	}
@@ -298,12 +340,14 @@ func (c *Controller) readMiss(p proto.Pending) {
 				c.sp.Mark(k, obs.PhaseMemory)
 				c.mem.Write(a, data)
 				c.sendGet(k, a, data, false)
+				pre := c.censusPre(li)
 				c.dir.SetModified(li, false)
 				// The previous owner's presence bit is already accurate:
 				// either it answered the PURGE and kept a clean copy (bit
 				// stays set), or the data arrived via a racing eviction and
 				// the put-consumption path cleared the bit.
 				c.dir.SetPresent(li, k, true)
+				c.censusMoved(li, pre)
 				c.done(a)
 			})
 		})
@@ -314,11 +358,13 @@ func (c *Controller) readMiss(p proto.Pending) {
 		c.sp.Mark(k, obs.PhaseMemory)
 		data := c.mem.Read(a)
 		c.sendGet(k, a, data, exclusive)
+		pre := c.censusPre(li)
 		c.dir.SetPresent(li, k, true)
 		if exclusive {
 			// Pessimistic m bit: the owner may modify silently (§2.4.3).
 			c.dir.SetModified(li, true)
 		}
+		c.censusMoved(li, pre)
 		c.done(a)
 	})
 }
@@ -330,9 +376,11 @@ func (c *Controller) writeMiss(p proto.Pending) {
 	li := c.local(a)
 	finish := func(data uint64) {
 		c.sendGet(k, a, data, false)
+		pre := c.censusPre(li)
 		c.dir.Clear(li)
 		c.dir.SetPresent(li, k, true)
 		c.dir.SetModified(li, true)
+		c.censusMoved(li, pre)
 		c.done(a)
 	}
 	if c.dir.Modified(li) {
@@ -374,7 +422,9 @@ func (c *Controller) mrequest(p proto.Pending) {
 	c.send(c.cfg.Topo.CacheNode(k), msg.Message{
 		Kind: msg.KindMGranted, Block: a, Cache: k, Ok: true,
 	})
+	pre := c.censusPre(li)
 	c.dir.SetModified(li, true)
+	c.censusMoved(li, pre)
 	c.done(a)
 }
 
@@ -384,22 +434,26 @@ func (c *Controller) eject(p proto.Pending) {
 	k, a := p.M.Cache, p.M.Block
 	li := c.local(a)
 	if p.M.RW == msg.Read {
+		pre := c.censusPre(li)
 		c.dir.SetPresent(li, k, false)
 		// A clean ejection by a Yen–Fu exclusive owner leaves the
 		// pessimistic m bit dangling; clear it when no holders remain.
 		if c.dir.HolderCount(li) == 0 {
 			c.dir.SetModified(li, false)
 		}
+		c.censusMoved(li, pre)
 		c.done(a)
 		return
 	}
 	c.await(a, func(_ int, data uint64) {
 		c.kernel.After(c.cfg.Lat.Memory, func() {
 			c.mem.Write(a, data)
+			pre := c.censusPre(li)
 			c.dir.SetPresent(li, k, false)
 			if c.dir.HolderCount(li) == 0 {
 				c.dir.SetModified(li, false)
 			}
+			c.censusMoved(li, pre)
 			c.done(a)
 		})
 	})
@@ -410,6 +464,7 @@ func (c *Controller) eject(p proto.Pending) {
 // to the full map too).
 func (c *Controller) invalidateHolders(a addr.Block, k int) {
 	li := c.local(a)
+	pre := c.censusPre(li)
 	for _, h := range c.dir.Holders(li) {
 		if h == k {
 			continue
@@ -418,6 +473,7 @@ func (c *Controller) invalidateHolders(a addr.Block, k int) {
 		c.send(c.cfg.Topo.CacheNode(h), msg.Message{Kind: msg.KindInv, Block: a, Cache: h})
 		c.dir.SetPresent(li, h, false)
 	}
+	c.censusMoved(li, pre)
 	if n := c.ser.DeleteQueued(a, func(p proto.Pending) bool {
 		return p.M.Kind == msg.KindMRequest && p.M.Cache != k
 	}); n > 0 {
@@ -440,7 +496,10 @@ func (c *Controller) purge(a addr.Block, rw msg.RW, owner int, onData func(int, 
 		})
 		// The eviction's write-back subsumed the purge: the owner's copy is
 		// gone, so clear its presence bit here.
-		c.dir.SetPresent(c.local(a), put.cache, false)
+		li := c.local(a)
+		pre := c.censusPre(li)
+		c.dir.SetPresent(li, put.cache, false)
+		c.censusMoved(li, pre)
 		c.calls.Data(0, onData, put.cache, put.data)
 		return
 	}

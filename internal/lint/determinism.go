@@ -11,10 +11,19 @@ import (
 // package that imports the event-kernel package (directly or
 // transitively), plus the kernel itself, plus everything those packages
 // depend on inside the module — i.e. all code that can execute inside
-// the event loop. Packages outside cfg.Scope (the live concurrent
-// cross-validator, command-line mains, examples) are exempt.
+// the event loop. Packages outside cfg.Scope (command-line mains,
+// examples) and the explicitly cfg.Exempt ones (the live concurrent
+// cross-validator, which reaches the kernel only through the shared
+// observability types) are out.
 func kernelReachable(mod *module, cfg Config) map[string]bool {
+	exempt := make(map[string]bool, len(cfg.Exempt))
+	for _, e := range cfg.Exempt {
+		exempt[e] = true
+	}
 	inScope := func(path string) bool {
+		if exempt[path] {
+			return false
+		}
 		return path == cfg.Scope || strings.HasPrefix(path, cfg.Scope+"/") || cfg.Scope == mod.path
 	}
 	// Fixpoint: which in-scope packages reach the kernel via imports.

@@ -139,6 +139,13 @@ type Config struct {
 	// prefix. Default: <module>/internal (the whole module when no
 	// internal directory exists, as in the fixtures).
 	Scope string
+	// Exempt lists packages excluded from the determinism scope even when
+	// they reach the event kernel through imports. The live concurrent
+	// cross-validator runs real goroutines by design — that is its whole
+	// point — and imports the observability package (which types sim
+	// time) precisely so its counters mirror the deterministic
+	// simulator's. Default: <module>/internal/livesim.
+	Exempt []string
 	// Orchestrators lists packages that legitimately run event kernels on
 	// worker goroutines — each kernel confined to one goroutine — such as
 	// the experiment-campaign engine. The go-statement rule is waived for
@@ -186,6 +193,9 @@ func (c *Config) fill(mod *module) {
 		if _, ok := mod.pkgs[c.SimPath]; !ok {
 			c.Scope = mod.path
 		}
+	}
+	if c.Exempt == nil {
+		c.Exempt = []string{mod.path + "/internal/livesim"}
 	}
 	if c.Orchestrators == nil {
 		c.Orchestrators = []string{mod.path + "/internal/sweep"}

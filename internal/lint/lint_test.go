@@ -144,6 +144,7 @@ func TestObsPassivityFixture(t *testing.T) {
 	}), []string{
 		"obs/obs.go:21:2: [determinism] observability package determobs/obs must stay passive but schedules a kernel event via After",
 		"obs/span.go:22:2: [determinism] observability package determobs/obs must stay passive but schedules a kernel event via AtCall",
+		"obs/timeseries.go:24:2: [determinism] observability package determobs/obs must stay passive but schedules a kernel event via At",
 	})
 }
 

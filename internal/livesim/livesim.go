@@ -19,6 +19,7 @@ import (
 
 	"twobit/internal/addr"
 	"twobit/internal/msg"
+	"twobit/internal/obs"
 )
 
 // Config sizes the live machine.
@@ -27,6 +28,16 @@ type Config struct {
 	Modules     int
 	CacheBlocks int // per-cache capacity (fully associative)
 	ChanDepth   int // inbox buffering; defaults to 1024
+
+	// Obs attaches observability counters mirroring the deterministic
+	// simulator's names ("cache<k>/refs", "ctrl<j>/broadcasts",
+	// "ctrl<j>/dir_to_*", ...), so the two implementations can be
+	// compared counter for counter. Every counter is registered in New,
+	// before any node goroutine starts, and is thereafter written by
+	// exactly one node goroutine; snapshot the recorder only after Run
+	// returns. Counters only — the live machine has no global sim time,
+	// so windowed series and event tracing stay off.
+	Obs *obs.Recorder
 }
 
 // Validate reports configuration errors.

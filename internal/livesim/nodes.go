@@ -5,6 +5,7 @@ import (
 
 	"twobit/internal/addr"
 	"twobit/internal/msg"
+	"twobit/internal/obs"
 )
 
 // Global states, two bits as in the paper.
@@ -42,10 +43,17 @@ type cacheNode struct {
 	pend       *procReq
 	pendPhase  uint8 // 0 none, 1 await MGRANTED, 2 await get
 	pendResult uint64
+
+	// obs counters, registered before the goroutine starts and written
+	// only by it. Names mirror the deterministic simulator's.
+	obsRefs      *obs.Counter // "cache<k>/refs"
+	obsMisses    *obs.Counter // "cache<k>/misses"
+	obsMRequests *obs.Counter // "cache<k>/mrequests" (§3.2.4 upgrades)
+	obsInvs      *obs.Counter // "cache<k>/invalidations" applied to a held copy
 }
 
 func newCacheNode(m *Machine, idx int) *cacheNode {
-	return &cacheNode{
+	c := &cacheNode{
 		m:       m,
 		idx:     idx,
 		inbox:   make(chan envelope, m.cfg.ChanDepth),
@@ -54,6 +62,12 @@ func newCacheNode(m *Machine, idx int) *cacheNode {
 		stopped: make(chan struct{}),
 		frames:  make(map[addr.Block]*frame),
 	}
+	prefix := fmt.Sprintf("cache%d", idx)
+	c.obsRefs = m.cfg.Obs.Counter(prefix + "/refs")
+	c.obsMisses = m.cfg.Obs.Counter(prefix + "/misses")
+	c.obsMRequests = m.cfg.Obs.Counter(prefix + "/mrequests")
+	c.obsInvs = m.cfg.Obs.Counter(prefix + "/invalidations")
+	return c
 }
 
 // access is called from the processor goroutine.
@@ -95,6 +109,7 @@ func (c *cacheNode) sendCtrl(b addr.Block, m msg.Message) {
 // external commands from the inbox while it waits.
 func (c *cacheNode) handleReq(req *procReq) {
 	b := req.ref.Block
+	c.obsRefs.Inc()
 	if f, ok := c.frames[b]; ok {
 		if !req.ref.Write {
 			req.resp <- f.data
@@ -107,12 +122,14 @@ func (c *cacheNode) handleReq(req *procReq) {
 			return
 		}
 		// §3.2.4: MREQUEST.
+		c.obsMRequests.Inc()
 		c.pend, c.pendPhase = req, 1
 		c.sendCtrl(b, msg.Message{Kind: msg.KindMRequest, Block: b, Cache: c.idx})
 		c.waitPend()
 		return
 	}
 	// Miss: §3.2.1 replacement, then REQUEST.
+	c.obsMisses.Inc()
 	c.evictFor(b)
 	rw := msg.Read
 	if req.ref.Write {
@@ -167,6 +184,9 @@ func (c *cacheNode) handleMsg(env envelope) {
 	case msg.KindBroadInv:
 		if m.Cache == c.idx {
 			return // exempted cache k
+		}
+		if _, held := c.frames[m.Block]; held {
+			c.obsInvs.Inc()
 		}
 		delete(c.frames, m.Block)
 		// §3.2.5: treat as MGRANTED(·, false).
@@ -235,10 +255,19 @@ type ctrlNode struct {
 	states  map[addr.Block]uint8
 	memory  map[addr.Block]uint64
 	buffer  []envelope // commands deferred while a transaction waits
+
+	// obs counters, registered before the goroutine starts and written
+	// only by it. Names mirror the deterministic simulator's.
+	obsBroadcasts *obs.Counter    // "ctrl<j>/broadcasts"
+	obsStateTo    [4]*obs.Counter // "ctrl<j>/dir_to_*" transition counts
 }
 
+// ctrlStateSuffix matches internal/core's stateCounterSuffix, indexed by
+// the st* constants, so the two simulators' transition counters line up.
+var ctrlStateSuffix = [4]string{"dir_to_absent", "dir_to_present1", "dir_to_present_star", "dir_to_present_m"}
+
 func newCtrlNode(m *Machine, idx int) *ctrlNode {
-	return &ctrlNode{
+	c := &ctrlNode{
 		m:       m,
 		idx:     idx,
 		inbox:   make(chan envelope, m.cfg.ChanDepth),
@@ -247,6 +276,21 @@ func newCtrlNode(m *Machine, idx int) *ctrlNode {
 		states:  make(map[addr.Block]uint8),
 		memory:  make(map[addr.Block]uint64),
 	}
+	prefix := fmt.Sprintf("ctrl%d", idx)
+	c.obsBroadcasts = m.cfg.Obs.Counter(prefix + "/broadcasts")
+	for s := range c.obsStateTo {
+		c.obsStateTo[s] = m.cfg.Obs.Counter(prefix + "/" + ctrlStateSuffix[s])
+	}
+	return c
+}
+
+// setState is the directory-write choke point: every transition is
+// counted (only when the state actually changes, as in internal/core).
+func (c *ctrlNode) setState(b addr.Block, st uint8) {
+	if c.states[b] != st {
+		c.obsStateTo[st].Inc()
+	}
+	c.states[b] = st
 }
 
 func (c *ctrlNode) loop() {
@@ -273,6 +317,7 @@ func (c *ctrlNode) sendCache(k int, m msg.Message) {
 
 // broadcast sends m to every cache except k.
 func (c *ctrlNode) broadcast(m msg.Message, k int) {
+	c.obsBroadcasts.Inc()
 	for i := range c.m.caches {
 		if i == k {
 			continue
@@ -345,14 +390,14 @@ func (c *ctrlNode) service(env envelope) {
 	case msg.KindEject:
 		if m.RW == msg.Read {
 			if c.states[b] == stPresent1 {
-				c.states[b] = stAbsent
+				c.setState(b, stAbsent)
 			}
 			return
 		}
 		data := c.awaitPut(b)
 		c.memory[b] = data
 		if c.states[b] == stPresentM {
-			c.states[b] = stAbsent
+			c.setState(b, stAbsent)
 		}
 	case msg.KindPut:
 		// A put with no waiting transaction belongs to an EJECT("write")
@@ -364,7 +409,7 @@ func (c *ctrlNode) service(env envelope) {
 		// the state, then drop the buffered EJECT.
 		c.memory[b] = m.Data
 		if c.states[b] == stPresentM {
-			c.states[b] = stAbsent
+			c.setState(b, stAbsent)
 		}
 		kept := c.buffer[:0]
 		for _, e := range c.buffer {
@@ -386,16 +431,16 @@ func (c *ctrlNode) readMiss(k int, b addr.Block) {
 	switch c.states[b] {
 	case stAbsent:
 		c.sendCache(k, msg.Message{Kind: msg.KindGet, Block: b, Cache: k, Data: c.memory[b]})
-		c.states[b] = stPresent1
+		c.setState(b, stPresent1)
 	case stPresent1, stPresentStar:
 		c.sendCache(k, msg.Message{Kind: msg.KindGet, Block: b, Cache: k, Data: c.memory[b]})
-		c.states[b] = stPresentStar
+		c.setState(b, stPresentStar)
 	case stPresentM:
 		c.broadcast(msg.Message{Kind: msg.KindBroadQuery, Block: b, RW: msg.Read, Cache: k}, k)
 		data := c.awaitPut(b)
 		c.memory[b] = data
 		c.sendCache(k, msg.Message{Kind: msg.KindGet, Block: b, Cache: k, Data: data})
-		c.states[b] = stPresentStar
+		c.setState(b, stPresentStar)
 	}
 }
 
@@ -414,7 +459,7 @@ func (c *ctrlNode) writeMiss(k int, b addr.Block) {
 		c.memory[b] = data
 		c.sendCache(k, msg.Message{Kind: msg.KindGet, Block: b, Cache: k, Data: data})
 	}
-	c.states[b] = stPresentM
+	c.setState(b, stPresentM)
 }
 
 // mrequest implements §3.2.4 with the grant-acknowledgement that closes
@@ -428,9 +473,9 @@ func (c *ctrlNode) mrequest(k int, b addr.Block) {
 		}
 		c.sendCache(k, msg.Message{Kind: msg.KindMGranted, Block: b, Cache: k, Ok: true})
 		if c.awaitMAck(b) {
-			c.states[b] = stPresentM
+			c.setState(b, stPresentM)
 		} else {
-			c.states[b] = stAbsent
+			c.setState(b, stAbsent)
 		}
 	default:
 		c.sendCache(k, msg.Message{Kind: msg.KindMGranted, Block: b, Cache: k, Ok: false})

@@ -130,6 +130,8 @@ type base struct {
 	track     []obs.Component // NodeID → trace track, NoComponent when unmapped
 	obsSends  *obs.Counter    // "net/sends"
 	obsFanout *obs.Histogram  // "net/broadcast_fanout"
+	tsMsgs    *obs.TimeSeries // "net/msgs" windowed sends
+	tsBusy    *obs.TimeSeries // "net/busy_cycles" windowed medium occupancy
 }
 
 func newBase(k *sim.Kernel) base {
@@ -179,6 +181,8 @@ func (b *base) Observe(rec *obs.Recorder, names func(NodeID) string) {
 	b.nameFn = names
 	b.obsSends = rec.Counter("net/sends")
 	b.obsFanout = rec.Histogram("net/broadcast_fanout", 1)
+	b.tsMsgs = rec.Windows().Series("net/msgs", obs.SeriesSum)
+	b.tsBusy = rec.Windows().Series("net/busy_cycles", obs.SeriesSum)
 	for _, id := range b.order {
 		b.trackFor(id)
 	}
@@ -211,6 +215,7 @@ func (b *base) scheduleDeliver(at sim.Time, src, dst NodeID, h Handler, m msg.Me
 	b.stats.count(m)
 	if b.rec != nil {
 		b.obsSends.Inc()
+		b.tsMsgs.Inc()
 		b.trackFor(dst) // pre-register so Call never grows b.track
 	}
 	idx := b.freeHead
@@ -411,6 +416,7 @@ func (b *Bus) acquire() sim.Time {
 	}
 	b.freeAt = start + b.cycleTime
 	b.stats.BusBusyCycles.Add(uint64(b.cycleTime))
+	b.tsBusy.Add(uint64(b.cycleTime))
 	return start + b.latency
 }
 
@@ -528,6 +534,9 @@ func (o *Omega) route(src, dst NodeID) sim.Time {
 		o.linkFree[s][cur] = depart + o.hop
 		t = depart + o.hop
 	}
+	// Each routed message reserves stages×hop link-cycles; windowed, that
+	// is the multistage fabric's occupancy.
+	o.tsBusy.Add(uint64(o.stages) * uint64(o.hop))
 	return t
 }
 

@@ -53,6 +53,13 @@ func Merge(a, b Snapshot) (Snapshot, error) {
 			j++
 		}
 	}
+	var err error
+	if out.Series, err = mergeSeries(a.Series, b.Series); err != nil {
+		return Snapshot{}, err
+	}
+	out.TopBlocks = mergeBlockStats(a.TopBlocks, b.TopBlocks)
+	out.TopInvBlocks = mergeBlockStats(a.TopInvBlocks, b.TopInvBlocks)
+	out.FalseSharing = mergeFalseShare(a.FalseSharing, b.FalseSharing)
 	return out, nil
 }
 

@@ -145,6 +145,15 @@ func (h HistogramValue) Quantile(q float64) uint64 {
 type Snapshot struct {
 	Counters []CounterValue
 	Hists    []HistogramValue
+
+	// Series holds the windowed time-series (name-sorted), empty unless
+	// EnableWindows was called. TopBlocks/TopInvBlocks/FalseSharing hold
+	// the contention profile (canonical hottest-first order), empty
+	// unless EnableContention was called.
+	Series       []SeriesValue
+	TopBlocks    []BlockStat
+	TopInvBlocks []BlockStat
+	FalseSharing []FalseShareStat
 }
 
 // Snapshot freezes the recorder's metrics, sorted by name. Sorting
@@ -175,6 +184,12 @@ func (r *Recorder) Snapshot() Snapshot {
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
 	sort.Slice(s.Hists, func(i, j int) bool { return s.Hists[i].Name < s.Hists[j].Name })
+	s.Series = r.windows.freezeSeries()
+	if c := r.contention; c != nil {
+		s.TopBlocks = freezeTopK(c.refs)
+		s.TopInvBlocks = freezeTopK(c.invs)
+		s.FalseSharing = c.freezeFalseShare()
+	}
 	return s
 }
 
@@ -194,4 +209,13 @@ func (s Snapshot) Hist(name string) (HistogramValue, bool) {
 		return s.Hists[i], true
 	}
 	return HistogramValue{}, false
+}
+
+// SeriesNamed returns the named windowed series and whether it exists.
+func (s Snapshot) SeriesNamed(name string) (SeriesValue, bool) {
+	i := sort.Search(len(s.Series), func(i int) bool { return s.Series[i].Name >= name })
+	if i < len(s.Series) && s.Series[i].Name == name {
+		return s.Series[i], true
+	}
+	return SeriesValue{}, false
 }

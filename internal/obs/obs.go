@@ -105,6 +105,14 @@ type Recorder struct {
 	// spans is the transaction-span aggregator, nil until EnableSpans
 	// (see span.go).
 	spans *SpanRecorder
+
+	// windows is the windowed time-series aggregator, nil until
+	// EnableWindows (see timeseries.go).
+	windows *TSRecorder
+
+	// contention is the per-address profiler, nil until
+	// EnableContention (see contention.go).
+	contention *ContentionRecorder
 }
 
 // New returns a recorder with capacity for ringCapacity trace events;

@@ -76,6 +76,15 @@ type CacheAgent struct {
 	obsRefs   *obs.Counter   // "cache<k>/refs"
 	obsRemote *obs.Histogram // "cache<k>/remote_ref_cycles": issue → finish
 	sp        *obs.SpanRecorder
+
+	// Machine-wide windowed rates (every agent folds into the same
+	// "sys/*" series) and the per-address contention profiler; all nil
+	// unless windows/contention were enabled on the recorder.
+	tsRefs     *obs.TimeSeries // "sys/refs"
+	tsMisses   *obs.TimeSeries // "sys/misses"
+	tsInvs     *obs.TimeSeries // "sys/invalidations"
+	tsUpgrades *obs.TimeSeries // "sys/upgrades"
+	cont       *obs.ContentionRecorder
 }
 
 type pendPhase uint8
@@ -108,6 +117,13 @@ func NewCacheAgent(cfg AgentConfig, kernel *sim.Kernel, net network.Network, sto
 		a.comp = cfg.Obs.Component(fmt.Sprintf("cache%d", cfg.Index))
 		a.obsRefs = cfg.Obs.Counter(fmt.Sprintf("cache%d/refs", cfg.Index))
 		a.obsRemote = cfg.Obs.Histogram(fmt.Sprintf("cache%d/remote_ref_cycles", cfg.Index), 4)
+		if ts := cfg.Obs.Windows(); ts != nil {
+			a.tsRefs = ts.Series("sys/refs", obs.SeriesSum)
+			a.tsMisses = ts.Series("sys/misses", obs.SeriesSum)
+			a.tsInvs = ts.Series("sys/invalidations", obs.SeriesSum)
+			a.tsUpgrades = ts.Series("sys/upgrades", obs.SeriesSum)
+		}
+		a.cont = cfg.Obs.Contention()
 	}
 	a.sp = cfg.Obs.Spans()
 	net.Attach(cfg.Topo.CacheNode(cfg.Index), a)
@@ -173,6 +189,11 @@ func (a *CacheAgent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)
 		a.stats.Reads.Inc()
 	}
 	a.obsRefs.Inc()
+	a.tsRefs.Inc()
+	a.cont.Ref(uint64(ref.Block))
+	if ref.Write {
+		a.cont.Write(uint64(ref.Block), ref.Disp, a.cfg.Index)
+	}
 	a.rec.Begin(a.comp, refName(ref.Write), int64(ref.Block))
 
 	f := a.store.Access(ref.Block)
@@ -183,6 +204,7 @@ func (a *CacheAgent) Access(ref addr.Ref, writeVersion uint64, done func(uint64)
 		a.hit(ref, f, writeVersion, done)
 		return
 	}
+	a.tsMisses.Inc()
 	a.miss(ref, writeVersion, done)
 }
 
@@ -261,6 +283,7 @@ func (a *CacheAgent) hit(ref addr.Ref, f *cache.Frame, writeVersion uint64, done
 	a.pend = pendingRef{ref: ref, writeVersion: writeVersion, done: done, phase: pendAwaitMGrant, issuedAt: a.kernel.Now()}
 	a.pendActive = true
 	a.stats.MRequestsSent.Inc()
+	a.tsUpgrades.Inc()
 	a.send(a.cfg.Topo.CtrlFor(ref.Block), msg.Message{
 		Kind: msg.KindMRequest, Block: ref.Block, Cache: a.cfg.Index,
 	})
@@ -336,6 +359,8 @@ func (a *CacheAgent) handleInvalidate(m msg.Message) {
 	if f := a.store.Snoop(m.Block); f != nil {
 		a.store.Invalidate(m.Block)
 		a.stats.InvalidationsApplied.Inc()
+		a.tsInvs.Inc()
+		a.cont.Invalidation(uint64(m.Block))
 		a.rec.Emit(a.comp, "inv applied", int64(m.Block), 0)
 	} else {
 		a.stats.UselessCommands.Inc()

@@ -1,0 +1,114 @@
+package stats
+
+import "sort"
+
+// TopK is a Space-Saving heavy-hitter sketch (Metwally et al.): K
+// counters over uint64 keys, each overestimating its key's true count by
+// at most its recorded error. Updates are deterministic in stream order
+// (the minimum-count eviction breaks ties by slot index, which is itself
+// a deterministic function of the stream). It is shared by the trace
+// synthesizer's stream statistics and the obs contention profiler.
+type TopK struct {
+	entries []topEntry
+	slots   map[uint64]int // key → index into entries; never ranged over
+	k       int
+}
+
+type topEntry struct {
+	key   uint64
+	count int64
+	err   int64 // overestimate bound inherited at eviction
+}
+
+// TopItem is one tracked key with its estimated count.
+type TopItem struct {
+	Key   uint64 `json:"key"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err"` // the estimate overshoots by at most Err
+}
+
+// NewTopK sizes the sketch for k tracked keys (k ≤ 0 selects 64).
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		k = 64
+	}
+	return &TopK{
+		entries: make([]topEntry, 0, k),
+		slots:   make(map[uint64]int, k),
+		k:       k,
+	}
+}
+
+// K returns the configured sketch capacity.
+func (t *TopK) K() int { return t.k }
+
+// Len returns the number of keys currently tracked.
+func (t *TopK) Len() int { return len(t.entries) }
+
+// Observe folds one occurrence of key into the sketch.
+func (t *TopK) Observe(key uint64) { t.ObserveN(key, 1) }
+
+// ObserveN folds n occurrences of key into the sketch.
+func (t *TopK) ObserveN(key uint64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if i, ok := t.slots[key]; ok {
+		t.entries[i].count += n
+		return
+	}
+	if len(t.entries) < t.k {
+		t.slots[key] = len(t.entries)
+		t.entries = append(t.entries, topEntry{key: key, count: n})
+		return
+	}
+	// Evict the minimum-count entry (ties broken by slot index) and
+	// inherit its count as the newcomer's error bound.
+	min := 0
+	for i := 1; i < len(t.entries); i++ {
+		if t.entries[i].count < t.entries[min].count {
+			min = i
+		}
+	}
+	old := t.entries[min]
+	delete(t.slots, old.key)
+	t.slots[key] = min
+	t.entries[min] = topEntry{key: key, count: old.count + n, err: old.count}
+}
+
+// Items returns the tracked keys, highest estimated count first (key
+// breaks ties, so the order is deterministic).
+func (t *TopK) Items() []TopItem {
+	out := make([]TopItem, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, TopItem{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Merge folds the other sketch into t as a union join: counts and error
+// bounds for shared keys add, unseen keys are appended, and the slot
+// table grows past K if the union demands it (no eviction, so merging is
+// commutative and associative up to Items order, which is canonical).
+// Sweep aggregation relies on exactly that: merging per-worker sketches
+// in any grouping yields identical Items.
+func (t *TopK) Merge(other *TopK) {
+	if other == nil {
+		return
+	}
+	for _, e := range other.entries {
+		if i, ok := t.slots[e.key]; ok {
+			t.entries[i].count += e.count
+			t.entries[i].err += e.err
+			continue
+		}
+		t.slots[e.key] = len(t.entries)
+		t.entries = append(t.entries, e)
+	}
+}

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopKExactWhenSmall(t *testing.T) {
+	tk := NewTopK(8)
+	stream := []uint64{3, 1, 3, 2, 3, 1}
+	for _, k := range stream {
+		tk.Observe(k)
+	}
+	got := tk.Items()
+	want := []TopItem{{Key: 3, Count: 3}, {Key: 1, Count: 2}, {Key: 2, Count: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Items() = %+v, want %+v", got, want)
+	}
+}
+
+func TestTopKEvictionErrorBound(t *testing.T) {
+	tk := NewTopK(2)
+	// Fill: a×3, b×1. Then c arrives: evicts b (min), inherits err=1.
+	tk.ObserveN(7, 3)
+	tk.Observe(8)
+	tk.Observe(9)
+	got := tk.Items()
+	want := []TopItem{{Key: 7, Count: 3}, {Key: 9, Count: 2, Err: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Items() = %+v, want %+v", got, want)
+	}
+	// The estimate for any tracked key overshoots by at most Err.
+	for _, it := range got {
+		if it.Count < it.Err {
+			t.Fatalf("key %d: count %d < err %d", it.Key, it.Count, it.Err)
+		}
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	run := func() []TopItem {
+		tk := NewTopK(3)
+		for _, k := range []uint64{1, 2, 3, 4, 5, 4, 6} {
+			tk.Observe(k)
+		}
+		return tk.Items()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same stream, different sketch: %+v vs %+v", a, b)
+	}
+}
+
+func TestTopKMergeMatchesCombinedCounts(t *testing.T) {
+	a, b := NewTopK(4), NewTopK(4)
+	a.ObserveN(1, 5)
+	a.ObserveN(2, 3)
+	b.ObserveN(2, 4)
+	b.ObserveN(3, 1)
+	a.Merge(b)
+	got := a.Items()
+	want := []TopItem{{Key: 2, Count: 7}, {Key: 1, Count: 5}, {Key: 3, Count: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged Items() = %+v, want %+v", got, want)
+	}
+}
+
+func TestTopKMergeOrderIndependent(t *testing.T) {
+	mk := func(pairs ...[2]uint64) *TopK {
+		tk := NewTopK(3)
+		for _, p := range pairs {
+			tk.ObserveN(p[0], int64(p[1]))
+		}
+		return tk
+	}
+	build := func() [3]*TopK {
+		return [3]*TopK{
+			mk([2]uint64{1, 4}, [2]uint64{2, 2}),
+			mk([2]uint64{2, 3}, [2]uint64{3, 1}),
+			mk([2]uint64{4, 6}, [2]uint64{1, 1}),
+		}
+	}
+	orders := [][3]int{{0, 1, 2}, {2, 0, 1}, {1, 2, 0}, {2, 1, 0}}
+	var ref []TopItem
+	for i, ord := range orders {
+		parts := build()
+		acc := NewTopK(3)
+		for _, j := range ord {
+			acc.Merge(parts[j])
+		}
+		got := acc.Items()
+		if i == 0 {
+			ref = got
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("merge order %v changed Items: %+v vs %+v", ord, got, ref)
+		}
+	}
+}
+
+func TestTopKMergeNil(t *testing.T) {
+	tk := NewTopK(2)
+	tk.Observe(1)
+	tk.Merge(nil)
+	if got := tk.Items(); len(got) != 1 || got[0].Key != 1 {
+		t.Fatalf("Merge(nil) disturbed sketch: %+v", got)
+	}
+}

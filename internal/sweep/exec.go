@@ -70,10 +70,16 @@ func runPoint(p *Plan, pt Point, rn *system.Runner) Record {
 	gen := p.generator(pt)
 	defer tracegen.CloseGenerator(gen) // cached trace segments hold an mmap
 	cfg := p.Config(pt)
-	if p.Obs || p.Spans {
+	if p.Obs || p.Spans || p.ObsWindow > 0 || p.ObsTopK > 0 {
 		cfg.Obs = obs.New(0) // metrics only: no event ring in stored campaigns
 		if p.Spans {
 			cfg.Obs.EnableSpans(0) // matrix only: no per-span retention
+		}
+		if p.ObsWindow > 0 {
+			cfg.Obs.EnableWindows(p.ObsWindow)
+		}
+		if p.ObsTopK > 0 {
+			cfg.Obs.EnableContention(p.ObsTopK)
 		}
 	}
 	res, err := rn.Run(cfg, gen, p.RefsPerProc)

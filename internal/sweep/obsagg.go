@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"fmt"
+
+	"twobit/internal/obs"
+)
+
+// ObsGroup is the merged observability snapshot of one (protocol, net,
+// scenario) section of a campaign: every successful run in the section
+// folded together with obs.Merge, so windowed series add per aligned
+// window index, top-K block sketches union-join, and the false-sharing
+// tables accumulate. Scenario is "" for classic-generator campaigns.
+type ObsGroup struct {
+	Protocol string
+	Net      string
+	Scenario string
+	Runs     int // successful runs merged into Snap
+	Failed   int // runs in the section that carried an error
+	Snap     obs.Snapshot
+}
+
+// ObsGroups folds a campaign's records into one merged snapshot per
+// (protocol, net, scenario) section, in plan-axis order. Records are
+// merged in run-id order, which — because obs.Merge is commutative and
+// associative over canonical snapshots — is a presentation choice, not a
+// correctness requirement. Records without an obs snapshot (campaign run
+// without -obs-window/-obs-topk) are an error naming the first such run.
+func ObsGroups(p *Plan, recs []Record) ([]ObsGroup, error) {
+	points, err := p.Points()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != len(points) {
+		return nil, fmt.Errorf("sweep: grouping %d records against a plan of %d runs (campaign incomplete?)",
+			len(recs), len(points))
+	}
+
+	type sectionKey struct {
+		protocol, net, scenario string
+	}
+	idx := make(map[sectionKey]int)
+	var groups []ObsGroup
+	for _, ps := range p.Protocols {
+		for _, ns := range p.Nets {
+			for _, scen := range p.scenarioAxis() {
+				k := sectionKey{ps, ns, scen.Scenario}
+				idx[k] = len(groups)
+				groups = append(groups, ObsGroup{Protocol: ps, Net: ns, Scenario: scen.Scenario})
+			}
+		}
+	}
+
+	for i, rec := range recs {
+		pt := points[i]
+		gi, ok := idx[sectionKey{pt.Protocol.String(), pt.Net.String(), pt.Scenario}]
+		if !ok {
+			return nil, fmt.Errorf("sweep: record %d does not belong to any plan section", i)
+		}
+		g := &groups[gi]
+		if rec.Err != "" {
+			g.Failed++
+			continue
+		}
+		res, err := rec.Decode()
+		if err != nil {
+			return nil, err
+		}
+		if res.Obs == nil {
+			return nil, fmt.Errorf("sweep: run %d carries no obs snapshot (was the campaign executed with observability on?)", rec.RunID)
+		}
+		if g.Runs == 0 {
+			g.Snap = *res.Obs
+		} else if g.Snap, err = obs.Merge(g.Snap, *res.Obs); err != nil {
+			return nil, fmt.Errorf("sweep: merging run %d into %s/%s section: %w", rec.RunID, g.Protocol, g.Net, err)
+		}
+		g.Runs++
+	}
+	return groups, nil
+}

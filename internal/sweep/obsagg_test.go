@@ -1,0 +1,216 @@
+package sweep
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"twobit/internal/obs"
+)
+
+// windowPlan is testPlan with the coherence observatory on: windowed
+// time-series plus per-block contention attribution in every record.
+func windowPlan() *Plan {
+	p := testPlan()
+	p.ObsWindow = 64
+	p.ObsTopK = 16
+	return p
+}
+
+// TestWindowPlanIsDeterministicAcrossWorkers extends the byte-identity
+// guarantee to windowed campaigns: re-sequenced emission makes the
+// stored series independent of worker count.
+func TestWindowPlanIsDeterministicAcrossWorkers(t *testing.T) {
+	p := windowPlan()
+	dir := t.TempDir()
+	serial := filepath.Join(dir, "serial.jsonl")
+	parallel := filepath.Join(dir, "parallel.jsonl")
+	runToFile(t, p, serial, 1)
+	runToFile(t, p, parallel, 8)
+	if fileHash(t, serial) != fileHash(t, parallel) {
+		t.Fatal("windowed stores differ between workers=1 and workers=8")
+	}
+}
+
+// TestWindowMissExactness pins windowing against the whole-run
+// statistics: in every record, the per-window sums of the sys/refs,
+// sys/misses and sys/invalidations series equal the run's aggregate
+// reference, miss and invalidation counts exactly — windows partition
+// the run, they do not sample it.
+func TestWindowMissExactness(t *testing.T) {
+	recs, err := Collect(windowPlan(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		res, err := rec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Obs == nil {
+			t.Fatalf("run %d: no snapshot despite plan.ObsWindow", rec.RunID)
+		}
+		var misses, invs uint64
+		for _, st := range res.Store {
+			misses += st.Misses.Value()
+		}
+		for _, cs := range res.Cache {
+			invs += cs.InvalidationsApplied.Value()
+		}
+		for _, c := range []struct {
+			series string
+			want   uint64
+		}{
+			{"sys/refs", res.Refs},
+			{"sys/misses", misses},
+			{"sys/invalidations", invs},
+		} {
+			sv, ok := res.Obs.SeriesNamed(c.series)
+			if !ok {
+				t.Fatalf("run %d: snapshot has no %s series", rec.RunID, c.series)
+			}
+			if got := sv.Total(); got != c.want {
+				t.Errorf("run %d: Σ %s windows = %d, aggregate stats say %d", rec.RunID, c.series, got, c.want)
+			}
+		}
+	}
+}
+
+// TestWindowMergeProperties proves the series-merge algebra over real
+// campaign snapshots: commutative, associative, and invariant under
+// arbitrary permutation — so a campaign aggregate is well-defined no
+// matter how many workers produced the runs.
+func TestWindowMergeProperties(t *testing.T) {
+	recs, err := Collect(windowPlan(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []obs.Snapshot
+	for _, rec := range recs {
+		res, err := rec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, *res.Obs)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("need ≥3 snapshots, got %d", len(snaps))
+	}
+	a, b, c := snaps[0], snaps[1], snaps[2]
+
+	ab, err := obs.Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := obs.Merge(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapKey(t, ab) != snapKey(t, ba) {
+		t.Error("merge not commutative: a⊕b ≠ b⊕a")
+	}
+
+	abc1, err := obs.Merge(ab, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := obs.Merge(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc2, err := obs.Merge(a, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapKey(t, abc1) != snapKey(t, abc2) {
+		t.Error("merge not associative: (a⊕b)⊕c ≠ a⊕(b⊕c)")
+	}
+
+	base, err := obs.MergeAll(snaps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapKey(t, base)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		perm := make([]obs.Snapshot, len(snaps))
+		for i, j := range rng.Perm(len(snaps)) {
+			perm[i] = snaps[j]
+		}
+		got, err := obs.MergeAll(perm...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snapKey(t, got) != want {
+			t.Fatalf("trial %d: permuted merge produced a different aggregate", trial)
+		}
+	}
+}
+
+// TestObsGroups checks the campaign-level fold: one merged snapshot per
+// (protocol, net, scenario) section, each section's window totals equal
+// to the sum over its runs, and the merged top-K table still a union of
+// the per-run tables.
+func TestObsGroups(t *testing.T) {
+	p := windowPlan()
+	recs, err := Collect(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := ObsGroups(p, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(p.Protocols) * len(p.Nets); len(groups) != want {
+		t.Fatalf("got %d groups, want %d", len(groups), want)
+	}
+	points, err := p.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsPer := p.Size() / len(groups)
+	for _, g := range groups {
+		if g.Runs != runsPer {
+			t.Errorf("%s/%s: merged %d runs, want %d", g.Protocol, g.Net, g.Runs, runsPer)
+		}
+		var wantMisses uint64
+		for i, rec := range recs {
+			if points[i].Protocol.String() != g.Protocol || points[i].Net.String() != g.Net {
+				continue
+			}
+			res, err := rec.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sv, ok := res.Obs.SeriesNamed("sys/misses")
+			if !ok {
+				t.Fatalf("run %d: no sys/misses series", rec.RunID)
+			}
+			wantMisses += sv.Total()
+		}
+		sv, ok := g.Snap.SeriesNamed("sys/misses")
+		if !ok {
+			t.Fatalf("%s/%s: merged snapshot has no sys/misses series", g.Protocol, g.Net)
+		}
+		if sv.Total() != wantMisses {
+			t.Errorf("%s/%s: merged Σ misses = %d, per-run Σ = %d", g.Protocol, g.Net, sv.Total(), wantMisses)
+		}
+		if len(g.Snap.TopBlocks) == 0 {
+			t.Errorf("%s/%s: merged snapshot has no top-K hot blocks", g.Protocol, g.Net)
+		}
+	}
+}
+
+// TestObsGroupsRejectsUninstrumented names the run when a record lacks a
+// snapshot — grouping a campaign executed without observability is a
+// caller error, not an empty report.
+func TestObsGroupsRejectsUninstrumented(t *testing.T) {
+	p := testPlan()
+	recs, err := Collect(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ObsGroups(p, recs); err == nil {
+		t.Fatal("ObsGroups accepted a campaign without obs snapshots")
+	}
+}

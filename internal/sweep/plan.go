@@ -112,6 +112,20 @@ type Plan struct {
 	// is false. Aggregation only — per-span trace detail is never stored
 	// in campaigns (use cmd/coherencetrace -format spans to see it).
 	Spans bool `json:"spans,omitempty"`
+
+	// ObsWindow > 0 additionally enables windowed time-series aggregation
+	// with the given window width in sim cycles: each record's snapshot
+	// gains the per-window series (miss/invalidation/upgrade rates, queue
+	// depths, network occupancy, directory-state census). Implies a
+	// recorder even when Obs is false. cmd/obsreport merges the per-run
+	// series across replicates into the campaign view.
+	ObsWindow uint64 `json:"obs_window,omitempty"`
+
+	// ObsTopK > 0 additionally enables per-block contention attribution
+	// with the given sketch capacity: each record's snapshot gains the
+	// top-K hot/invalidated blocks and the false-sharing table. Implies a
+	// recorder even when Obs is false.
+	ObsTopK int `json:"obs_topk,omitempty"`
 }
 
 // Point is one expanded run of a plan.

@@ -239,10 +239,69 @@ type obsHistWire struct {
 	Buckets []uint64 `json:"buckets,omitempty"`
 }
 
-// obsWire mirrors obs.Snapshot.
+// obsSeriesWire mirrors obs.SeriesValue. Kind uses the SeriesKind
+// string form so stored campaigns stay legible and stable if the Go
+// enum is ever reordered.
+type obsSeriesWire struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"`
+	Width  uint64   `json:"width"`
+	Values []uint64 `json:"values,omitempty"`
+}
+
+// obsBlockWire mirrors obs.BlockStat.
+type obsBlockWire struct {
+	Block uint64 `json:"block"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err,omitempty"`
+}
+
+// obsFalseShareWire mirrors obs.FalseShareStat.
+type obsFalseShareWire struct {
+	Block         uint64 `json:"block"`
+	Writes        int64  `json:"writes"`
+	WordMask      uint64 `json:"word_mask"`
+	ProcMask      uint64 `json:"proc_mask"`
+	Interleavings int64  `json:"interleavings"`
+}
+
+// obsWire mirrors obs.Snapshot. The windowed/contention fields trail
+// the schema and are omitted when absent, so records from runs without
+// windows keep their prior byte encoding.
 type obsWire struct {
-	Counters []obsCounterWire `json:"counters,omitempty"`
-	Hists    []obsHistWire    `json:"hists,omitempty"`
+	Counters     []obsCounterWire    `json:"counters,omitempty"`
+	Hists        []obsHistWire       `json:"hists,omitempty"`
+	Series       []obsSeriesWire     `json:"series,omitempty"`
+	TopBlocks    []obsBlockWire      `json:"top_blocks,omitempty"`
+	TopInvBlocks []obsBlockWire      `json:"top_inv_blocks,omitempty"`
+	FalseSharing []obsFalseShareWire `json:"false_sharing,omitempty"`
+}
+
+func seriesKindToWire(k obs.SeriesKind) string { return k.String() }
+
+func seriesKindFromWire(s string) (obs.SeriesKind, error) {
+	for k := obs.SeriesSum; k <= obs.SeriesGauge; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("system: unknown series kind %q", s)
+}
+
+func blocksToWire(s []obs.BlockStat) []obsBlockWire {
+	var out []obsBlockWire
+	for _, b := range s {
+		out = append(out, obsBlockWire{Block: b.Block, Count: b.Count, Err: b.Err})
+	}
+	return out
+}
+
+func blocksFromWire(w []obsBlockWire) []obs.BlockStat {
+	var out []obs.BlockStat
+	for _, b := range w {
+		out = append(out, obs.BlockStat{Block: b.Block, Count: b.Count, Err: b.Err})
+	}
+	return out
 }
 
 func obsToWire(s *obs.Snapshot) *obsWire {
@@ -258,12 +317,25 @@ func obsToWire(s *obs.Snapshot) *obsWire {
 			Name: h.Name, Width: h.Width, Count: h.Count, Sum: h.Sum, Max: h.Max, Buckets: h.Buckets,
 		})
 	}
+	for _, sv := range s.Series {
+		w.Series = append(w.Series, obsSeriesWire{
+			Name: sv.Name, Kind: seriesKindToWire(sv.Kind), Width: sv.Width, Values: sv.Values,
+		})
+	}
+	w.TopBlocks = blocksToWire(s.TopBlocks)
+	w.TopInvBlocks = blocksToWire(s.TopInvBlocks)
+	for _, f := range s.FalseSharing {
+		w.FalseSharing = append(w.FalseSharing, obsFalseShareWire{
+			Block: f.Block, Writes: f.Writes, WordMask: f.WordMask,
+			ProcMask: f.ProcMask, Interleavings: f.Interleavings,
+		})
+	}
 	return w
 }
 
-func obsFromWire(w *obsWire) *obs.Snapshot {
+func obsFromWire(w *obsWire) (*obs.Snapshot, error) {
 	if w == nil {
-		return nil
+		return nil, nil
 	}
 	s := &obs.Snapshot{}
 	for _, c := range w.Counters {
@@ -274,7 +346,24 @@ func obsFromWire(w *obsWire) *obs.Snapshot {
 			Name: h.Name, Width: h.Width, Count: h.Count, Sum: h.Sum, Max: h.Max, Buckets: h.Buckets,
 		})
 	}
-	return s
+	for _, sv := range w.Series {
+		kind, err := seriesKindFromWire(sv.Kind)
+		if err != nil {
+			return nil, err
+		}
+		s.Series = append(s.Series, obs.SeriesValue{
+			Name: sv.Name, Kind: kind, Width: sv.Width, Values: sv.Values,
+		})
+	}
+	s.TopBlocks = blocksFromWire(w.TopBlocks)
+	s.TopInvBlocks = blocksFromWire(w.TopInvBlocks)
+	for _, f := range w.FalseSharing {
+		s.FalseSharing = append(s.FalseSharing, obs.FalseShareStat{
+			Block: f.Block, Writes: f.Writes, WordMask: f.WordMask,
+			ProcMask: f.ProcMask, Interleavings: f.Interleavings,
+		})
+	}
+	return s, nil
 }
 
 // resultsWire mirrors Results.
@@ -377,6 +466,10 @@ func DecodeResults(data []byte) (Results, error) {
 	if err != nil {
 		return Results{}, err
 	}
+	snap, err := obsFromWire(w.Obs)
+	if err != nil {
+		return Results{}, err
+	}
 	r := Results{
 		Protocol: p,
 		Procs:    w.Procs,
@@ -399,7 +492,7 @@ func DecodeResults(data []byte) (Results, error) {
 		SharedLatencyMean: w.SharedLatencyMean,
 		CtrlUtilization:   w.CtrlUtilization,
 
-		Obs: obsFromWire(w.Obs),
+		Obs: snap,
 	}
 	for _, s := range w.Cache {
 		r.Cache = append(r.Cache, cacheSideFromWire(s))

@@ -2,17 +2,16 @@ package tracegen
 
 import (
 	"math"
-	"sort"
 
 	"twobit/internal/addr"
+	"twobit/internal/stats"
 )
 
 // StreamStats accumulates online statistics over a reference stream in
 // O(K) memory, so a synthesis or inspection pass over a 100M-reference
 // trace can report its shape without holding it. Hot keys are tracked
-// with the Space-Saving sketch (Metwally et al.): K counters, each
-// overestimating its key's true count by at most its recorded error.
-// All updates are deterministic in stream order.
+// with the shared Space-Saving sketch (stats.TopK). All updates are
+// deterministic in stream order.
 type StreamStats struct {
 	perProc  []int64
 	writes   int64
@@ -20,14 +19,7 @@ type StreamStats struct {
 	maxBlock uint64
 	any      bool
 
-	entries []topEntry
-	slots   map[addr.Block]int // block → index into entries; never ranged over
-}
-
-type topEntry struct {
-	block addr.Block
-	count int64
-	err   int64 // overestimate bound inherited at eviction
+	top *stats.TopK
 }
 
 // DefaultTopK is the hot-key sketch size used by the CLIs.
@@ -41,8 +33,7 @@ func NewStreamStats(procs, k int) *StreamStats {
 	}
 	return &StreamStats{
 		perProc: make([]int64, procs),
-		entries: make([]topEntry, 0, k),
-		slots:   make(map[addr.Block]int, k),
+		top:     stats.NewTopK(k),
 	}
 }
 
@@ -68,27 +59,7 @@ func (s *StreamStats) Observe(proc int, r addr.Ref) {
 		return
 	}
 	s.shared++
-	if i, ok := s.slots[r.Block]; ok {
-		s.entries[i].count++
-		return
-	}
-	if len(s.entries) < cap(s.entries) {
-		s.slots[r.Block] = len(s.entries)
-		s.entries = append(s.entries, topEntry{block: r.Block, count: 1})
-		return
-	}
-	// Evict the minimum-count entry (ties broken by slot index, which is
-	// deterministic in stream order) and inherit its count as error.
-	min := 0
-	for i := 1; i < len(s.entries); i++ {
-		if s.entries[i].count < s.entries[min].count {
-			min = i
-		}
-	}
-	old := s.entries[min]
-	delete(s.slots, old.block)
-	s.slots[r.Block] = min
-	s.entries[min] = topEntry{block: r.Block, count: old.count + 1, err: old.count}
+	s.top.Observe(uint64(r.Block))
 }
 
 // Total returns the number of observed references.
@@ -141,16 +112,11 @@ type KeyCount struct {
 // TopKeys returns the hot-key estimates, most-referenced first (block
 // id breaks ties, so the order is deterministic).
 func (s *StreamStats) TopKeys() []KeyCount {
-	out := make([]KeyCount, 0, len(s.entries))
-	for _, e := range s.entries {
-		out = append(out, KeyCount{Block: e.block, Count: e.count, Err: e.err})
+	items := s.top.Items()
+	out := make([]KeyCount, 0, len(items))
+	for _, it := range items {
+		out = append(out, KeyCount{Block: addr.Block(it.Key), Count: it.Count, Err: it.Err})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Block < out[j].Block
-	})
 	return out
 }
 

@@ -263,7 +263,12 @@ func (g *Gen) Next(proc int) addr.Ref {
 	// all traffic lands on the contended pool.
 	if s.FalseShareFrac > 0 && r.Bool(s.FalseShareFrac) {
 		b := s.Keys + r.Intn(s.FalseShareBlocks)
-		return addr.Ref{Block: addr.Block(b), Write: r.Bool(s.FalseShareWrite), Shared: true}
+		// Each processor touches its own word of the contended block —
+		// the canonical false-sharing layout, and what lets the obs
+		// contention profiler tell it apart from true sharing. Disp is
+		// advisory (the memtrace formats do not carry it), so only live
+		// generation feeds the word-level detector.
+		return addr.Ref{Block: addr.Block(b), Disp: proc, Write: r.Bool(s.FalseShareWrite), Shared: true}
 	}
 
 	eff := s.SharedFrac * g.diurnalFactor(t)

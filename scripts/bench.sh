@@ -290,6 +290,58 @@ END {
 echo "==> wrote $TRACE_OUT"
 cat "$TRACE_OUT"
 
+# Coherence-observatory baseline: the windowed time-series + contention
+# hooks with recording off (the nil-check path every simulation pays)
+# and on, the Space-Saving sketch's steady-state update rate, and the
+# end-to-end cost of a fully observed machine against an unobserved one.
+OBSTS_OUT=BENCH_obsts.json
+OBSTS_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$KERNEL_RAW" "$OBS_RAW" "$SPANS_RAW" "$MCHECK_RAW" "$TRACE_RAW" "$OBSTS_RAW"; rm -rf "$PREV" "$PROFDIR"' EXIT
+
+echo "==> go test -bench BenchmarkTimeSeries(Disabled|Enabled)/BenchmarkTopKUpdate -benchmem"
+go test -run '^$' -bench '^(BenchmarkTimeSeries(Disabled|Enabled)|BenchmarkTopKUpdate)$' -benchmem -benchtime 2000000x . | tee "$OBSTS_RAW"
+
+echo "==> go test -bench BenchmarkTimeSeriesMachine"
+go test -run '^$' -bench '^BenchmarkTimeSeriesMachine$' -benchtime 20x . | tee -a "$OBSTS_RAW"
+
+awk -v commit="$COMMIT" -v date="$DATE" '
+/^BenchmarkTimeSeriesDisabled/ {
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns["disabled"] = $(i - 1)
+        if ($i == "allocs/op") allocs["disabled"] = $(i - 1)
+    }
+}
+/^BenchmarkTimeSeriesEnabled/ {
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns["enabled"] = $(i - 1)
+        if ($i == "allocs/op") allocs["enabled"] = $(i - 1)
+    }
+}
+/^BenchmarkTopKUpdate/ {
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") topk = $(i - 1)
+}
+/^BenchmarkTimeSeriesMachine\/windows=/ {
+    split($1, parts, "=")
+    split(parts[2], w, "-")
+    for (i = 2; i <= NF; i++) if ($i == "ns/op") machine[w[1]] = $(i - 1)
+}
+END {
+    if (ns["disabled"] == "" || ns["enabled"] == "" || topk == "" || machine["off"] == "" || machine["on"] == "") {
+        print "bench.sh: time-series benchmarks did not all report" > "/dev/stderr"; exit 1
+    }
+    overhead = (machine["on"] - machine["off"]) / machine["off"] * 100
+    printf "{\n  \"benchmark\": \"BenchmarkTimeSeries\",\n"
+    printf "  \"commit\": \"%s\",\n  \"date\": \"%s\",\n", commit, date
+    printf "  \"disabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", ns["disabled"], allocs["disabled"]
+    printf "  \"enabled\": {\"ns_per_op\": %s, \"allocs_per_op\": %s},\n", ns["enabled"], allocs["enabled"]
+    printf "  \"topk\": {\"ns_per_op\": %s},\n", topk
+    printf "  \"machine\": {\"off\": {\"ns_per_op\": %s}, \"on\": {\"ns_per_op\": %s}, \"overhead_pct\": %.1f}\n", machine["off"], machine["on"], overhead
+    printf "}\n"
+}' "$OBSTS_RAW" > "$OBSTS_OUT"
+
+echo "==> wrote $OBSTS_OUT"
+cat "$OBSTS_OUT"
+
 # Regression gate: judge every fresh baseline against its committed
 # predecessor. A >10% throughput loss or any allocs/op increase fails
 # here, before the new numbers can be committed as the baseline.

@@ -153,6 +153,23 @@ END {
     if (allocs + 0 != 0) { printf "check.sh: disabled spans path allocates (%s allocs/op)\n", allocs > "/dev/stderr"; exit 1 }
 }'
 
+echo "==> time-series zero-alloc guard + windowed passivity smoke"
+# The coherence observatory's disabled path (windowed series + contention
+# hooks with no recorder) must also dissolve into nil checks, and a run
+# with windows and contention profiling on must reproduce the
+# uninstrumented run byte for byte once the snapshot is stripped.
+TS_BENCH="$(go test -run '^$' -bench '^BenchmarkTimeSeriesDisabled$' -benchmem -benchtime 1000x .)"
+echo "$TS_BENCH"
+echo "$TS_BENCH" | awk '
+/^BenchmarkTimeSeriesDisabled/ {
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") { allocs = $(i - 1); found = 1 }
+}
+END {
+    if (!found) { print "check.sh: BenchmarkTimeSeriesDisabled did not report allocs/op" > "/dev/stderr"; exit 1 }
+    if (allocs + 0 != 0) { printf "check.sh: disabled time-series path allocates (%s allocs/op)\n", allocs > "/dev/stderr"; exit 1 }
+}'
+go test -run '^TestTimeSeriesDoesNotPerturb$' -count=1 ./internal/system
+
 echo "==> kernel zero-alloc guard + order oracle"
 # The event kernel's schedule+drain path must not allocate: an allocation
 # per event would tax every simulated cycle. The order oracle replays the
@@ -192,7 +209,7 @@ cmp "$SMOKE/trace1.json" "$SMOKE/trace2.json" || {
 echo "==> benchdiff gate self-check"
 # The regression gate must pass a baseline against itself and must fail
 # on a constructed regression — otherwise bench.sh's gate is decorative.
-for f in BENCH_sweep.json BENCH_kernel.json BENCH_obs.json BENCH_spans.json BENCH_trace.json; do
+for f in BENCH_sweep.json BENCH_kernel.json BENCH_obs.json BENCH_spans.json BENCH_trace.json BENCH_obsts.json; do
     [ -f "$f" ] || { echo "check.sh: committed baseline $f missing" >&2; exit 1; }
     go run ./cmd/benchdiff -baseline "$f" -fresh "$f" > /dev/null || {
         echo "check.sh: benchdiff failed $f against itself" >&2

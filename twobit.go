@@ -44,6 +44,7 @@ import (
 	"twobit/internal/addr"
 	"twobit/internal/memtrace"
 	"twobit/internal/model"
+	"twobit/internal/obs"
 	"twobit/internal/report"
 	"twobit/internal/system"
 	"twobit/internal/tracegen"
@@ -334,3 +335,78 @@ func CompareTable42() string {
 		model.Table41W, model.Table41N,
 		model.Table42(), model.PaperTable42)
 }
+
+// Recorder is the observability instrument set a machine carries via
+// Config.Obs: an event ring, counters, histograms, transaction spans
+// (EnableSpans), windowed time-series (EnableWindows) and per-block
+// contention attribution (EnableContention). Every instrument is
+// passive — recording cannot perturb a run — and the nil *Recorder is
+// the disabled instrument, so instrumentation hooks cost a nil check
+// when observability is off.
+type Recorder = obs.Recorder
+
+// NewRecorder builds a recorder with an event ring of the given
+// capacity (0 disables event retention; counters, series and profilers
+// still work).
+func NewRecorder(ringCap int) *Recorder { return obs.New(ringCap) }
+
+// ObsSnapshot is a recorder's frozen state: counters, histograms, span
+// matrices, windowed series, hot-block tables and false-sharing
+// profiles. Results.Obs carries one when the machine ran instrumented.
+type ObsSnapshot = obs.Snapshot
+
+// SeriesValue is one windowed time-series inside a snapshot: Values[i]
+// covers sim time [i·Width, (i+1)·Width).
+type SeriesValue = obs.SeriesValue
+
+// SeriesKind says how a series folds samples into windows and how two
+// runs' windows merge.
+type SeriesKind = obs.SeriesKind
+
+// The three series kinds.
+const (
+	SeriesSum   = obs.SeriesSum   // counts: windows add
+	SeriesMax   = obs.SeriesMax   // peaks: windows max
+	SeriesGauge = obs.SeriesGauge // levels: forward-filled, add across runs
+)
+
+// DefaultWindowWidth is the window width (sim cycles) tools use unless
+// told otherwise.
+const DefaultWindowWidth = obs.DefaultWindowWidth
+
+// BlockStat is one hot block in a snapshot's top-K tables: Count
+// overestimates the true count by at most Err (Space-Saving bound).
+type BlockStat = obs.BlockStat
+
+// FalseShareStat is one watched block's write-interleaving profile; its
+// FalseShared method reports whether distinct processors interleaved
+// writes to distinct words — the false-sharing signature.
+type FalseShareStat = obs.FalseShareStat
+
+// Storm is one flagged window from DetectStorms.
+type Storm = obs.Storm
+
+// DetectStorms flags the windows of a series whose count is at least
+// factor times the series mean and at least minCount absolute — the
+// invalidation-storm detector when run over a "sys/invalidations"
+// series.
+func DetectStorms(s SeriesValue, minCount uint64, factor float64) []Storm {
+	return obs.DetectStorms(s, minCount, factor)
+}
+
+// MergeSnapshots folds runs' snapshots into a campaign aggregate:
+// counters and sum/gauge windows add, max windows keep peaks, top-K
+// tables union-join. The merge is commutative and associative, so an
+// aggregate is well-defined no matter how runs are grouped.
+func MergeSnapshots(snaps ...ObsSnapshot) (ObsSnapshot, error) {
+	return obs.MergeAll(snaps...)
+}
+
+// DefaultContentionK is the hot-block table capacity tools use unless
+// told otherwise.
+const DefaultContentionK = obs.DefaultContentionK
+
+// DirStateSeriesNames are the windowed directory-census series a
+// machine publishes when windows are enabled, indexed by two-bit
+// directory state.
+var DirStateSeriesNames = obs.DirStateSeriesNames

@@ -228,3 +228,82 @@ func TestCostTablePublicAPI(t *testing.T) {
 		t.Fatalf("classical closed form = %v", v)
 	}
 }
+
+func TestObservatoryFacade(t *testing.T) {
+	run := func() (Results, ObsSnapshot) {
+		t.Helper()
+		cfg := DefaultConfig(TwoBit, 4)
+		rec := NewRecorder(0)
+		rec.EnableWindows(DefaultWindowWidth)
+		rec.EnableContention(DefaultContentionK)
+		cfg.Obs = rec
+		gen := NewSharedPrivateWorkload(SharedPrivateConfig{
+			Procs: 4, SharedBlocks: 4, Q: 0.4, W: 0.5,
+			PrivateHit: 0.9, PrivateWrite: 0.3, HotBlocks: 16, ColdBlocks: 64, Seed: 7,
+		})
+		m, err := NewMachine(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Obs == nil {
+			t.Fatal("Results.Obs nil on an instrumented run")
+		}
+		return res, *res.Obs
+	}
+	res, snap := run()
+
+	refs, ok := snap.SeriesNamed("sys/refs")
+	if !ok {
+		t.Fatal("sys/refs series missing")
+	}
+	if refs.Kind != SeriesSum || refs.Width != DefaultWindowWidth {
+		t.Fatalf("sys/refs shape = kind %v width %d", refs.Kind, refs.Width)
+	}
+	if refs.Total() != res.Refs {
+		t.Fatalf("windowed refs %d != Results.Refs %d", refs.Total(), res.Refs)
+	}
+	for _, name := range DirStateSeriesNames {
+		sv, ok := snap.SeriesNamed(name)
+		if !ok {
+			t.Fatalf("census series %s missing", name)
+		}
+		if sv.Kind != SeriesGauge {
+			t.Fatalf("census series %s kind = %v", name, sv.Kind)
+		}
+	}
+	if len(snap.TopBlocks) == 0 {
+		t.Fatal("no hot blocks attributed")
+	}
+	var stat BlockStat = snap.TopBlocks[0]
+	if stat.Count == 0 {
+		t.Fatalf("top block %+v has zero count", stat)
+	}
+	for _, fs := range snap.FalseSharing {
+		var f FalseShareStat = fs
+		_ = f.FalseShared()
+	}
+
+	_, snap2 := run()
+	merged, err := MergeSnapshots(snap, snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrefs, ok := merged.SeriesNamed("sys/refs")
+	if !ok || mrefs.Total() != 2*refs.Total() {
+		t.Fatalf("merged sys/refs total = %d, want %d", mrefs.Total(), 2*refs.Total())
+	}
+
+	if inv, ok := snap.SeriesNamed("sys/invalidations"); ok {
+		storms := DetectStorms(inv, 1, 2)
+		for _, st := range storms {
+			var s Storm = st
+			if s.Value == 0 {
+				t.Fatalf("storm with zero count: %+v", s)
+			}
+		}
+	}
+}
